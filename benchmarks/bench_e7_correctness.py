@@ -1,0 +1,85 @@
+"""E7 -- Correctness under adversarial interleavings (sections 1.2, 2, 3).
+
+The paper's central claim is qualitative: both algorithms "can create
+correctly both unique and nonunique indexes, without giving spurious
+unique-key-value-violation error messages".  This bench quantifies it:
+many seeded schedules per algorithm, each audited key-for-key against the
+table, with counters showing the race machinery actually fired.
+"""
+
+from repro.bench import bench_config, print_table
+from repro.core import IndexSpec, NSFIndexBuilder, SFIndexBuilder
+from repro.system import System
+from repro.verify import audit_index
+from repro.workloads import WorkloadDriver, WorkloadSpec
+
+SEEDS = range(100, 130)
+
+
+def one_schedule(builder_cls, seed, unique):
+    system = System(bench_config(), seed=seed)
+    table = system.create_table("t", ["k", "p"])
+    spec = WorkloadSpec(operations=30, workers=3, rollback_fraction=0.2,
+                        think_time=0.5,
+                        key_space=10_000_000 if unique else 5_000,
+                        update_weight=0.0 if unique else 1.0)
+    driver = WorkloadDriver(system, table, spec, seed=seed)
+    pre = system.spawn(driver.preload(120), name="preload")
+    system.run()
+    assert pre.error is None
+    builder = builder_cls(system, table,
+                          IndexSpec.of("idx", ["k"], unique=unique))
+    proc = system.spawn(builder.run(), name="builder")
+    driver.spawn_workers()
+    system.run()
+    if proc.error is not None:
+        raise proc.error
+    audit_index(system, system.indexes["idx"])
+    return system
+
+
+def run_e7():
+    rows = []
+    for builder_cls, label in ((NSFIndexBuilder, "nsf"),
+                               (SFIndexBuilder, "sf")):
+        for unique in (False, True):
+            audited = 0
+            races = {"dup_ib": 0, "dup_txn": 0, "tombstones": 0,
+                     "sidefile": 0, "fig2": 0}
+            for seed in SEEDS:
+                system = one_schedule(builder_cls, seed, unique)
+                audited += 1
+                races["dup_ib"] += system.metrics.get(
+                    "index.duplicate_rejections.ib")
+                races["dup_txn"] += system.metrics.get(
+                    "index.duplicate_rejections.txn")
+                races["tombstones"] += system.metrics.get(
+                    "index.tombstone_inserts")
+                races["sidefile"] += system.metrics.get("sidefile.appends")
+                races["fig2"] += system.metrics.get(
+                    "maintenance.figure2_compensations")
+            rows.append([
+                label, "unique" if unique else "nonunique", audited,
+                races["dup_ib"], races["dup_txn"], races["tombstones"],
+                races["sidefile"], races["fig2"],
+            ])
+    return rows
+
+
+def test_e7_adversarial_schedules(once):
+    rows = once(run_e7)
+    print_table(
+        "E7: 30 seeded adversarial schedules per cell, all audited "
+        "key-for-key (sections 1.2 / 2 / 3)",
+        ["algo", "index kind", "schedules OK", "IB dup rejects",
+         "txn dup rejects", "tombstones", "side-file entries",
+         "Figure-2 compensations"],
+        rows,
+        note="every schedule ends with index == table; counters prove the "
+             "race machinery was exercised, not dodged.",
+    )
+    assert all(r[2] == len(list(SEEDS)) for r in rows)
+    nsf_nonunique = rows[0]
+    sf_nonunique = rows[2]
+    assert nsf_nonunique[3] + nsf_nonunique[5] > 0   # NSF races fired
+    assert sf_nonunique[6] > 0                       # SF side-file used

@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Every bench runs its experiment exactly once inside the ``benchmark``
+fixture (the workloads are deterministic; repetition adds nothing) and
+renders a paper-style results table.  The tables are re-emitted in the
+terminal summary -- after pytest's capture has ended -- so they always
+appear in ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``.
+"""
+
+import pytest
+
+from repro.bench.harness import RENDERED_TABLES
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable a single time under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not RENDERED_TABLES:
+        return
+    terminalreporter.section("paper-style results tables")
+    for table in RENDERED_TABLES:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

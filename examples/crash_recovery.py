@@ -1,0 +1,96 @@
+"""Crash an online index build in every phase, restart, resume, verify.
+
+The paper devotes sections 2.2.3, 3.2.4 and 5 to making the index build
+*restartable*: a failure should not throw away days of scanning and
+sorting.  This example crashes an SF build at increasing points in its
+life -- during the scan, during the bottom-up load, during the side-file
+drain, and after completion -- then runs ARIES-lite restart recovery,
+resumes the build from its checkpoints, and audits the final index.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro import (
+    BuildOptions,
+    IndexSpec,
+    SFIndexBuilder,
+    System,
+    SystemConfig,
+    WorkloadDriver,
+    WorkloadSpec,
+    audit_index,
+    build_pre_undo,
+    restart,
+    resume_build,
+    run_until_crash,
+)
+
+ROWS = 1_200
+
+
+def run_with_crash(crash_after: float):
+    system = System(SystemConfig(page_capacity=8, leaf_capacity=8,
+                                 sort_workspace=32), seed=13)
+    table = system.create_table("events", ["ts", "payload"])
+    spec = WorkloadSpec(operations=60, workers=2, think_time=0.8,
+                        rollback_fraction=0.15)
+    driver = WorkloadDriver(system, table, spec, seed=13)
+    preload = system.spawn(driver.preload(ROWS), name="preload")
+    system.run()
+    assert preload.error is None
+
+    options = BuildOptions(checkpoint_every_pages=16,
+                           checkpoint_every_keys=128,
+                           commit_every_keys=64)
+    builder = SFIndexBuilder(system, table,
+                             IndexSpec.of("events_by_ts", ["ts"]),
+                             options=options)
+    system.spawn(builder.run(), name="builder")
+    driver.spawn_workers()
+
+    # pull the plug
+    run_until_crash(system, system.now() + crash_after)
+    log_at_crash = system.log.flushed_lsn
+
+    # restart recovery + build resume
+    recovered, utility_state = restart(system, pre_undo=build_pre_undo)
+    phase = utility_state.get("phase", "-")
+    resumed = resume_build(recovered, utility_state)
+    if resumed is not None:
+        proc = recovered.spawn(resumed.run(), name="resumed-builder")
+        recovered.run()
+        assert proc.error is None
+
+    report = audit_index(recovered, recovered.indexes["events_by_ts"])
+    return {
+        "phase": phase,
+        "stable_lsn": log_at_crash,
+        "losers": recovered.metrics.get("recovery.losers_rolled_back"),
+        "redos": (recovered.metrics.get("recovery.redos")
+                  + recovered.metrics.get("recovery.index_redos")),
+        "entries": report["entries"],
+        "resumed": resumed is not None,
+    }
+
+
+def main() -> None:
+    print(f"SF build over a {ROWS}-row table under a live update "
+          f"workload; power failures at increasing times\n")
+    print(f"{'crash at':>9} {'phase at crash':>16} {'losers':>7} "
+          f"{'redo ops':>9} {'resumed':>8} {'final entries':>14} "
+          f"{'audit':>6}")
+    print("-" * 78)
+    for crash_after in (30, 120, 350, 700, 100_000):
+        outcome = run_with_crash(crash_after)
+        label = f"{crash_after}" if crash_after < 100_000 else "(never)"
+        print(f"{label:>9} {outcome['phase']:>16} "
+              f"{outcome['losers']:>7} {outcome['redos']:>9} "
+              f"{str(outcome['resumed']):>8} {outcome['entries']:>14} "
+              f"{'OK':>6}")
+    print("\nevery run ends with index == table; work done before the "
+          "last checkpoint\n(scan pages, sorted runs, loaded keys, "
+          "drained entries) is never repeated.")
+
+
+if __name__ == "__main__":
+    main()

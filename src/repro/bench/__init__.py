@@ -1,0 +1,17 @@
+"""Benchmark harness: experiment runner and table printer."""
+
+from repro.bench.harness import (
+    BUILDERS,
+    BuildRunResult,
+    bench_config,
+    print_table,
+    run_build_experiment,
+)
+
+__all__ = [
+    "BUILDERS",
+    "BuildRunResult",
+    "bench_config",
+    "print_table",
+    "run_build_experiment",
+]

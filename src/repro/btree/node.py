@@ -1,0 +1,141 @@
+"""B+-tree page layouts.
+
+Index pages hold ``<key value, RID>`` entries (section 1.1).  Every key
+carries the paper's 1-bit *pseudo-delete* flag (section 2.1.2: "A 1-bit
+flag is associated with every key in the index to indicate whether the key
+is pseudo deleted or not").
+
+Composite ordering is ``(key value, RID)``: for a nonunique index two
+entries may share a key value and are ordered by RID; a unique index keeps
+at most one entry per key value (pseudo-deleted or not).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterator, Optional
+
+from repro.metrics import MetricsRegistry
+from repro.sim.latch import Latch
+
+#: A composite key: (key_value, rid) where rid is a RID tuple.
+CompositeKey = tuple
+
+
+class KeyEntry:
+    """One index entry: key value, RID, and the pseudo-delete flag."""
+
+    __slots__ = ("key_value", "rid", "pseudo_deleted")
+
+    def __init__(self, key_value, rid, pseudo_deleted: bool = False) -> None:
+        self.key_value = key_value
+        self.rid = rid
+        self.pseudo_deleted = pseudo_deleted
+
+    @property
+    def composite(self) -> CompositeKey:
+        return (self.key_value, self.rid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mark = "~" if self.pseudo_deleted else ""
+        return f"<{mark}{self.key_value!r}@{self.rid}>"
+
+
+class IndexPage:
+    """Base class for leaf and branch pages of one index tree."""
+
+    __slots__ = ("page_no", "latch")
+
+    def __init__(self, page_no: int,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.page_no = page_no
+        self.latch = Latch(f"index:{page_no}", metrics=metrics)
+
+
+class LeafPage(IndexPage):
+    """A leaf: sorted entries plus the next-leaf chain pointer."""
+
+    __slots__ = ("entries", "next_leaf", "capacity")
+
+    def __init__(self, page_no: int, capacity: int,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        super().__init__(page_no, metrics=metrics)
+        self.entries: list[KeyEntry] = []
+        self.next_leaf: Optional[int] = None
+        self.capacity = capacity
+
+    # -- searching ---------------------------------------------------------
+
+    def position(self, composite: CompositeKey) -> int:
+        """Insertion point for ``composite`` among the sorted entries."""
+        return bisect_left(self.entries, composite,
+                           key=lambda e: e.composite)
+
+    def find_exact(self, composite: CompositeKey) -> Optional[KeyEntry]:
+        """The entry equal to ``composite``, if present."""
+        pos = self.position(composite)
+        if pos < len(self.entries) \
+                and self.entries[pos].composite == composite:
+            return self.entries[pos]
+        return None
+
+    def find_key_value(self, key_value) -> Optional[KeyEntry]:
+        """First entry with this key value (for unique-index checks)."""
+        pos = bisect_left(self.entries, key_value,
+                          key=lambda e: e.key_value)
+        if pos < len(self.entries) \
+                and self.entries[pos].key_value == key_value:
+            return self.entries[pos]
+        return None
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    @property
+    def low_composite(self) -> Optional[CompositeKey]:
+        return self.entries[0].composite if self.entries else None
+
+    @property
+    def high_composite(self) -> Optional[CompositeKey]:
+        return self.entries[-1].composite if self.entries else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Leaf {self.page_no} n={len(self.entries)} "
+                f"next={self.next_leaf}>")
+
+
+class BranchPage(IndexPage):
+    """An internal page: separators and child page numbers.
+
+    ``children[i]`` covers composites < ``separators[i]``;
+    ``children[-1]`` covers the rest.  So
+    ``len(children) == len(separators) + 1``.
+    """
+
+    __slots__ = ("separators", "children", "capacity")
+
+    def __init__(self, page_no: int, capacity: int,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        super().__init__(page_no, metrics=metrics)
+        self.separators: list[CompositeKey] = []
+        self.children: list[int] = []
+        self.capacity = capacity
+
+    def child_for(self, composite: CompositeKey) -> tuple[int, int]:
+        """(child page number, child slot) covering ``composite``.
+
+        A separator equals the lowest composite of the child to its right,
+        so an exact match routes right: ``bisect_right`` semantics.
+        """
+        slot = bisect_right(self.separators, composite)
+        return self.children[slot], slot
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.children) > self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Branch {self.page_no} fanout={len(self.children)}>"

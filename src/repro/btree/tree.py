@@ -1,0 +1,1129 @@
+"""The B+-tree index manager.
+
+Implements the index-side machinery both algorithms rely on:
+
+* ordinary transaction key inserts and deletes with latching and logging
+  (ARIES/IM style, sections 1.1 and 2.2.3);
+* the *duplicate-key rejection* logic of NSF (section 2.1.1): whoever
+  arrives second -- IB or the transaction -- skips the physical insert; a
+  transaction still writes an **undo-only** log record so its rollback
+  removes the key IB inserted;
+* *pseudo-deleted keys* (section 2.1.2): logical deletion via a 1-bit flag,
+  tombstone inserts by deleters who find no key, reactivation on rollback;
+* unique-index checks that distinguish a genuine unique-key violation from
+  an in-flight insert/delete by testing whether the owning record's lock is
+  free (data-only locking, sections 2.2.3 and 6.2);
+* NSF's IB insert path: multi-key calls, the remembered root-to-leaf path,
+  and the *specialized split* that moves only keys higher than IB's insert
+  point (section 2.3.1);
+* next-key locking for phantom protection during normal operation, and its
+  suppression while the index is still being built (section 2.2.3: "No
+  next key locking is done during key inserts into the new index while
+  index build is still in progress");
+* logical redo/undo integrated with restart recovery via a per-tree
+  ``durable_lsn`` snapshot watermark (see DESIGN.md, "crash model").
+
+All public mutators are generators (they latch pages and charge simulated
+CPU cost); everything between two yields is atomic, so structure
+modifications are consistent without interior-node latching while leaf
+latches still create the contention the experiments measure.  Lock waits
+never happen while a latch is held (the latch-deadlock avoidance rule of
+section 1.2): conflicts are detected under the latch with *conditional*
+lock probes, and the actual wait happens after the latch is released,
+followed by a retry.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, Optional, Sequence, TYPE_CHECKING
+
+from repro.btree.node import BranchPage, CompositeKey, KeyEntry, LeafPage
+from repro.errors import IndexBuildError, StorageError, UniqueViolationError
+from repro.sim.kernel import Acquire, Delay
+from repro.sim.latch import EXCLUSIVE, SHARE
+from repro.storage.rid import RID
+from repro.wal.records import LogRecord, RecordKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+    from repro.txn.transaction import Transaction
+
+#: Sorts below every real RID; used to find the leftmost leaf for a key value.
+MIN_RID = RID(-1, -1)
+
+
+class InsertOutcome(enum.Enum):
+    """What a transaction's key insert physically did."""
+
+    INSERTED = "inserted"
+    REACTIVATED = "reactivated"          # pseudo-deleted entry revived
+    DUPLICATE_NOOP = "duplicate-noop"    # IB beat us; undo-only log written
+    REPLACED_RID = "replaced-rid"        # unique: tombstone revived, new RID
+
+
+class IBCursor:
+    """NSF's remembered root-to-leaf path (section 2.3.1).
+
+    IB avoids a full traversal when the cached leaf still covers the next
+    key; the cache is invalidated by any split (the tree bumps
+    ``structure_version``).
+    """
+
+    __slots__ = ("leaf_no", "version")
+
+    def __init__(self) -> None:
+        self.leaf_no: Optional[int] = None
+        self.version = -1
+
+
+class BTree:
+    """One B+-tree index over a table."""
+
+    def __init__(self, system: "System", name: str, table_name: str,
+                 unique: bool = False,
+                 leaf_capacity: Optional[int] = None,
+                 branch_capacity: Optional[int] = None) -> None:
+        self.system = system
+        self.name = name
+        self.table_name = table_name
+        self.unique = unique
+        self.leaf_capacity = leaf_capacity or system.config.leaf_capacity
+        self.branch_capacity = branch_capacity or system.config.branch_capacity
+        self.pages: dict[int, LeafPage | BranchPage] = {}
+        self.root: Optional[int] = None
+        self._next_page_no = 0
+        #: bumped by every split; invalidates IB cursors
+        self.structure_version = 0
+        #: log records with LSN <= durable_lsn are reflected in the stable
+        #: snapshot; recovery redoes only younger index log records
+        self.durable_lsn = 0
+        self._snapshot: Optional[dict] = None
+        self._snapshot_durable_lsn = 0
+        self._bounds_cache: dict = {}
+        self._register_operations()
+
+    # ------------------------------------------------------------------
+    # page allocation
+    # ------------------------------------------------------------------
+
+    def _allocate_leaf(self) -> LeafPage:
+        page = LeafPage(self._next_page_no, self.leaf_capacity,
+                        metrics=self.system.metrics)
+        self.pages[page.page_no] = page
+        self._next_page_no += 1
+        self.system.metrics.incr("index.pages_allocated")
+        return page
+
+    def _allocate_branch(self) -> BranchPage:
+        page = BranchPage(self._next_page_no, self.branch_capacity,
+                          metrics=self.system.metrics)
+        self.pages[page.page_no] = page
+        self._next_page_no += 1
+        self.system.metrics.incr("index.pages_allocated")
+        return page
+
+    def _ensure_root(self) -> LeafPage:
+        if self.root is None:
+            leaf = self._allocate_leaf()
+            self.root = leaf.page_no
+            return leaf
+        node = self.pages[self.root]
+        while isinstance(node, BranchPage):
+            node = self.pages[node.children[0]]
+        return node
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+
+    def _traverse(self, composite: CompositeKey, *, count: bool = True
+                  ) -> tuple[LeafPage, list[tuple[BranchPage, int]]]:
+        """Root-to-leaf descent; returns the leaf and the branch path."""
+        if count:
+            self.system.metrics.incr("index.traversals")
+        if self.root is None:
+            self._ensure_root()
+        node = self.pages[self.root]
+        path: list[tuple[BranchPage, int]] = []
+        visits = 1
+        while isinstance(node, BranchPage):
+            child_no, slot = node.child_for(composite)
+            path.append((node, slot))
+            node = self.pages[child_no]
+            visits += 1
+        if count:
+            self.system.metrics.incr("index.page_visits", visits)
+        return node, path
+
+    def _path_to_leaf(self, leaf_no: int) -> list[tuple[BranchPage, int]]:
+        """Derive the branch path to a known leaf, structurally.
+
+        A key-guided descent is not reliable here: rollbacks can empty a
+        leaf, and a subsequent insert can give it a low key equal to one
+        of its fences, making "traverse by low key" land a neighbour.
+        The structural search is exact; interior fan-out keeps it cheap.
+        """
+        if self.root == leaf_no:
+            return []
+        path: list[tuple[BranchPage, int]] = []
+
+        def descend(page_no: int) -> bool:
+            node = self.pages[page_no]
+            if isinstance(node, LeafPage):
+                return node.page_no == leaf_no
+            for slot, child in enumerate(node.children):
+                path.append((node, slot))
+                if descend(child):
+                    return True
+                path.pop()
+            return False
+
+        if self.root is None or not descend(self.root):
+            raise StorageError(f"leaf {leaf_no} unreachable in {self.name}")
+        return path
+
+    def _find_for_key_value(self, key_value
+                            ) -> tuple[LeafPage, Optional[KeyEntry]]:
+        """Leftmost leaf covering ``key_value`` and its entry, if any.
+
+        Handles the leaf-boundary case where the only entry with this key
+        value is the first entry of the *next* leaf (its composite is the
+        separator).  Only meaningful for unique indexes, which hold at
+        most one entry per key value.
+        """
+        leaf, _path = self._traverse((key_value, MIN_RID), count=False)
+        entry = leaf.find_key_value(key_value)
+        if entry is None:
+            next_no = leaf.next_leaf
+            while next_no is not None:
+                successor = self.pages.get(next_no)
+                if successor is None:
+                    break
+                if successor.entries:
+                    if successor.entries[0].key_value == key_value:
+                        return successor, successor.entries[0]
+                    break
+                next_no = successor.next_leaf
+        return leaf, entry
+
+    # ------------------------------------------------------------------
+    # structure modification (atomic helpers; no yields)
+    # ------------------------------------------------------------------
+
+    def _insert_sorted(self, leaf: LeafPage, entry: KeyEntry,
+                       path: Optional[list[tuple[BranchPage, int]]] = None,
+                       specialized_for_ib: bool = False) -> LeafPage:
+        """Place ``entry`` in ``leaf``, splitting if needed.
+
+        Returns the leaf that finally holds the entry.  With
+        ``specialized_for_ib`` the split follows section 2.3.1: keys higher
+        than IB's key move to the new leaf (the few keys inserted by
+        transactions), or -- when none are higher -- a fresh leaf is
+        allocated for IB's key alone, mimicking a bottom-up build.
+        """
+        if not leaf.is_full:
+            leaf.entries.insert(leaf.position(entry.composite), entry)
+            return leaf
+        if path is None:
+            path = self._path_to_leaf(leaf.page_no)
+        if specialized_for_ib:
+            return self._specialized_split(leaf, entry, path)
+        return self._normal_split(leaf, entry, path)
+
+    def _normal_split(self, leaf: LeafPage, entry: KeyEntry,
+                      path: list[tuple[BranchPage, int]]) -> LeafPage:
+        """Half-and-half split (section 2.3.1: "usually, half the keys in
+        the page being split are moved to the new page")."""
+        new_leaf = self._allocate_leaf()
+        mid = len(leaf.entries) // 2
+        new_leaf.entries = leaf.entries[mid:]
+        del leaf.entries[mid:]
+        self.system.metrics.incr("index.keys_moved", len(new_leaf.entries))
+        new_leaf.next_leaf, leaf.next_leaf = leaf.next_leaf, new_leaf.page_no
+        separator = new_leaf.entries[0].composite
+        self._finish_split(leaf, new_leaf, separator, path)
+        target = new_leaf if entry.composite >= separator else leaf
+        target.entries.insert(target.position(entry.composite), entry)
+        return target
+
+    def _specialized_split(self, leaf: LeafPage, entry: KeyEntry,
+                           path: list[tuple[BranchPage, int]]) -> LeafPage:
+        """IB's split (section 2.3.1): move only the keys *higher* than
+        IB's key to the new page; when none are higher, the new leaf holds
+        IB's key alone -- the bottom-up append pattern."""
+        pos = leaf.position(entry.composite)
+        new_leaf = self._allocate_leaf()
+        moved = leaf.entries[pos:]
+        del leaf.entries[pos:]
+        self.system.metrics.incr("index.keys_moved", len(moved))
+        self.system.metrics.incr("index.splits.specialized")
+        new_leaf.next_leaf, leaf.next_leaf = leaf.next_leaf, new_leaf.page_no
+        if moved:
+            new_leaf.entries = moved
+            if not leaf.is_full:
+                separator = new_leaf.entries[0].composite
+                self._finish_split(leaf, new_leaf, separator, path)
+                leaf.entries.insert(leaf.position(entry.composite), entry)
+                return leaf
+            new_leaf.entries.insert(0, entry)
+            separator = new_leaf.entries[0].composite
+            self._finish_split(leaf, new_leaf, separator, path)
+            return new_leaf
+        new_leaf.entries = [entry]
+        self._finish_split(leaf, new_leaf, entry.composite, path)
+        return new_leaf
+
+    def _finish_split(self, left: LeafPage | BranchPage,
+                      right: LeafPage | BranchPage,
+                      separator: CompositeKey,
+                      path: list[tuple[BranchPage, int]]) -> None:
+        self.structure_version += 1
+        self.system.metrics.incr("index.splits")
+        self.system.log.append(
+            None, RecordKind.UPDATE,
+            redo=("index.split", {"index": self.name,
+                                  "left": left.page_no,
+                                  "right": right.page_no}),
+            writer="system",
+            info={"index": self.name},
+        )
+        if not path:
+            new_root = self._allocate_branch()
+            new_root.separators = [separator]
+            new_root.children = [left.page_no, right.page_no]
+            self.root = new_root.page_no
+            return
+        parent, slot = path[-1]
+        parent.separators.insert(slot, separator)
+        parent.children.insert(slot + 1, right.page_no)
+        if parent.is_full:
+            self._split_branch(parent, path[:-1])
+
+    def _split_branch(self, branch: BranchPage,
+                      path: list[tuple[BranchPage, int]]) -> None:
+        new_branch = self._allocate_branch()
+        mid = len(branch.separators) // 2
+        push_up = branch.separators[mid]
+        new_branch.separators = branch.separators[mid + 1:]
+        new_branch.children = branch.children[mid + 1:]
+        del branch.separators[mid:]
+        del branch.children[mid + 1:]
+        self.structure_version += 1
+        self.system.metrics.incr("index.splits")
+        if not path:
+            new_root = self._allocate_branch()
+            new_root.separators = [push_up]
+            new_root.children = [branch.page_no, new_branch.page_no]
+            self.root = new_root.page_no
+            return
+        parent, slot = path[-1]
+        parent.separators.insert(slot, push_up)
+        parent.children.insert(slot + 1, new_branch.page_no)
+        if parent.is_full:
+            self._split_branch(parent, path[:-1])
+
+    # ------------------------------------------------------------------
+    # transaction operations (generators)
+    # ------------------------------------------------------------------
+
+    def txn_insert_key(self, txn: "Transaction", key_value, rid: RID, *,
+                       during_build: bool):
+        """Generator: a transaction inserts ``<key_value, rid>``.
+
+        Implements the forward-processing insert of sections 2.1.1 and
+        2.2.3, including the undo-only log record when the key was already
+        inserted by IB, pseudo-delete reactivation, and the unique-index
+        decision procedure.  Returns an :class:`InsertOutcome`.
+        """
+        composite = (key_value, rid)
+        while True:
+            if self.unique:
+                leaf, _entry = self._find_for_key_value(key_value)
+                self.system.metrics.incr("index.traversals")
+            else:
+                leaf, _path = self._traverse(composite)
+            yield Acquire(leaf.latch, EXCLUSIVE)
+            if not self._latched_leaf_valid(leaf, composite, key_value):
+                # The leaf split while we waited for its latch; retry.
+                leaf.latch.release(self.system.sim.current)
+                continue
+            retry = False
+            wait_for = None
+            try:
+                if self.unique:
+                    result = yield from self._unique_insert_decide(
+                        txn, leaf, key_value, rid)
+                else:
+                    result = self._nonunique_insert_apply(
+                        txn, leaf, composite, during_build)
+                if isinstance(result, tuple):
+                    retry = True
+                    wait_for = result[1]
+                else:
+                    outcome = result
+            finally:
+                leaf.latch.release(self.system.sim.current)
+            if not retry:
+                break
+            if wait_for is not None:
+                # Wait (latch-free) for the conflicting record's fate.
+                yield from txn.lock(wait_for, "S", instant=True)
+        if not during_build:
+            yield from self._next_key_lock(txn, leaf, composite,
+                                           instant=True)
+        yield Delay(self.system.config.key_op_cost)
+        return outcome
+
+    def _latched_leaf_valid(self, leaf: LeafPage,
+                            composite: CompositeKey, key_value) -> bool:
+        """Re-validate a leaf after its latch was finally granted.
+
+        Waiting for the latch yields the simulator, so the leaf may have
+        split in between.  For a unique tree the leaf is acceptable when
+        it either still holds an entry for this key value or still covers
+        the composite; for a nonunique tree, when it covers the
+        composite.
+        """
+        if self.unique and leaf.find_key_value(key_value) is not None:
+            return True
+        return self._leaf_covers(leaf, composite)
+
+    def _nonunique_insert_apply(self, txn, leaf, composite,
+                                during_build) -> InsertOutcome:
+        key_value, rid = composite
+        exact = leaf.find_exact(composite)
+        if exact is None:
+            entry = KeyEntry(key_value, rid)
+            self._insert_sorted(leaf, entry)
+            self._log_key_op(txn, "insert", key_value, rid,
+                             undo_action="pseudo_delete")
+            self.system.metrics.incr("index.inserts.txn")
+            return InsertOutcome.INSERTED
+        if exact.pseudo_deleted:
+            # Section 2.2.3 step 8: resetting the pseudo-delete flag.
+            exact.pseudo_deleted = False
+            self._log_key_op(txn, "reactivate", key_value, rid,
+                             undo_action="pseudo_delete")
+            self.system.metrics.incr("index.reactivations")
+            return InsertOutcome.REACTIVATED
+        # Identical key already present: IB inserted it first.  Write the
+        # undo-only record so a rollback still deletes it (section 2.1.1).
+        self._log_undo_only(txn, key_value, rid)
+        return InsertOutcome.DUPLICATE_NOOP
+
+    def _unique_insert_decide(self, txn, leaf, key_value, rid: RID):
+        """Unique-index insert under the leaf latch.
+
+        Returns an :class:`InsertOutcome`, raises
+        :class:`UniqueViolationError`, or returns ``("wait", lock_name)``
+        when the caller must release the latch, wait on the conflicting
+        record's lock, and retry (section 2.2.3: "the transaction ensures
+        that the found key ... belongs to a committed record (or that the
+        key is its own uncommitted insert)").  Generator (it probes locks
+        conditionally -- probes never wait).
+        """
+        found = leaf.find_key_value(key_value)
+        if found is None and leaf.next_leaf is not None:
+            successor = self.pages[leaf.next_leaf]
+            if successor.entries \
+                    and successor.entries[0].key_value == key_value:
+                return ("wait-switch-leaf", None)  # re-traverse, rare
+        if found is None:
+            self._insert_sorted(leaf, KeyEntry(key_value, rid))
+            self._log_key_op(txn, "insert", key_value, rid,
+                             undo_action="pseudo_delete")
+            self.system.metrics.incr("index.inserts.txn")
+            return InsertOutcome.INSERTED
+        if found.rid == rid:
+            if found.pseudo_deleted:
+                found.pseudo_deleted = False
+                self._log_key_op(txn, "reactivate", key_value, rid,
+                                 undo_action="pseudo_delete")
+                self.system.metrics.incr("index.reactivations")
+                return InsertOutcome.REACTIVATED
+            self._log_undo_only(txn, key_value, rid)
+            return InsertOutcome.DUPLICATE_NOOP
+        # Same key value, different RID: is the other entry settled?
+        owner_lock = self._record_lock_name(found.rid)
+        if owner_lock in txn.held_locks:
+            owner_terminated = True  # our own earlier change; settled
+        else:
+            owner_terminated = yield from txn.lock(
+                owner_lock, "S", conditional=True, instant=True)
+        if not owner_terminated:
+            return ("wait", owner_lock)
+        if found.pseudo_deleted:
+            # Terminated deleter's tombstone: revive it with the new RID
+            # (the paper's <K,R> / <K,R1> example, section 2.2.3).
+            old_rid = found.rid
+            found.rid = rid
+            found.pseudo_deleted = False
+            self._log_key_op(txn, "replace_rid", key_value, rid,
+                             undo_action="restore_entry",
+                             extra={"old_rid": tuple(old_rid),
+                                    "old_pseudo": True})
+            self.system.metrics.incr("index.rid_replacements")
+            return InsertOutcome.REPLACED_RID
+        raise UniqueViolationError(
+            f"unique index {self.name}: key {key_value!r} already maps to "
+            f"committed record {found.rid}")
+
+    def _log_undo_only(self, txn, key_value, rid) -> None:
+        txn.log(RecordKind.UPDATE,
+                undo=("index.undo", {"index": self.name,
+                                     "action": "pseudo_delete",
+                                     "key_value": key_value,
+                                     "rid": tuple(rid)}),
+                info={"index": self.name, "reason": "duplicate-insert"})
+        self.system.metrics.incr("index.duplicate_rejections.txn")
+
+    def txn_delete_key(self, txn: "Transaction", key_value, rid: RID, *,
+                       during_build: bool):
+        """Generator: a transaction deletes ``<key_value, rid>``.
+
+        During an NSF build the delete is *logical*: an existing key is
+        flagged pseudo-deleted, and a missing key is inserted as a
+        tombstone so IB's later insert attempt is rejected (section 2.2.3,
+        "IB and Delete Operations").  Pseudo deletion lets the deleter
+        skip next-key locking; the physical path (normal operation on a
+        completed index) takes the next-key lock.
+        """
+        composite = (key_value, rid)
+        while True:
+            leaf, _path = self._traverse(composite)
+            yield Acquire(leaf.latch, EXCLUSIVE)
+            if self._leaf_covers(leaf, composite):
+                break
+            # The leaf split while we waited for its latch; retry.
+            leaf.latch.release(self.system.sim.current)
+        try:
+            exact = leaf.find_exact(composite)
+            if during_build or exact is None:
+                if exact is None:
+                    entry = KeyEntry(key_value, rid, pseudo_deleted=True)
+                    self._insert_sorted(leaf, entry)
+                    self._log_key_op(txn, "insert_tombstone", key_value, rid,
+                                     undo_action="reactivate")
+                    self.system.metrics.incr("index.tombstone_inserts")
+                elif not exact.pseudo_deleted:
+                    exact.pseudo_deleted = True
+                    self._log_key_op(txn, "pseudo_delete", key_value, rid,
+                                     undo_action="reactivate")
+                    self.system.metrics.incr("index.pseudo_deletes")
+                # an already-pseudo-deleted exact match needs no action
+            else:
+                pos = leaf.position(composite)
+                del leaf.entries[pos]
+                self._log_key_op(txn, "physical_delete", key_value, rid,
+                                 undo_action="insert")
+                self.system.metrics.incr("index.physical_deletes")
+        finally:
+            leaf.latch.release(self.system.sim.current)
+        if not during_build and exact is not None:
+            yield from self._next_key_lock(txn, leaf, composite,
+                                           instant=False)
+        yield Delay(self.system.config.key_op_cost)
+
+    def _next_key_lock(self, txn, leaf: LeafPage, composite: CompositeKey,
+                       instant: bool):
+        """Phantom protection on the key next above ``composite``.
+
+        Walks the leaf chain from ``leaf`` (which may have split since
+        the caller located it) until an entry strictly above
+        ``composite`` is found; locks end-of-index otherwise.
+        """
+        next_entry = None
+        node: Optional[LeafPage] = leaf
+        while node is not None and next_entry is None:
+            for entry in node.entries:
+                if entry.composite > composite:
+                    next_entry = entry
+                    break
+            node = (self.pages.get(node.next_leaf)
+                    if node.next_leaf is not None else None)
+        if next_entry is None:
+            lock_name = ("index-eof", self.name)
+        else:
+            lock_name = self._record_lock_name(next_entry.rid)
+        self.system.metrics.incr("index.nextkey_locks")
+        yield from txn.lock(lock_name, "X", instant=instant)
+
+    def _record_lock_name(self, rid) -> tuple:
+        return ("rec", self.table_name, RID(*rid))
+
+    # ------------------------------------------------------------------
+    # IB operations (NSF; generators)
+    # ------------------------------------------------------------------
+
+    def ib_insert_batch(self, ib_txn: "Transaction",
+                        keys: Sequence[tuple], cursor: IBCursor, *,
+                        write_log: bool = True):
+        """Generator: NSF's index builder inserts a batch of sorted keys.
+
+        Section 2.2.3: "the index manager will accept multiple keys in a
+        single call"; "tree traversals are avoided most of the time by
+        remembering the path from the root to the leaf"; "the log record
+        can contain multiple keys".  Duplicate keys -- including
+        pseudo-deleted ones -- are rejected without any log write.
+
+        The leaf latch is held across every consecutive key that lands in
+        the same leaf, and the covering multi-key log record is written
+        *before* the latch is released -- WAL ordering demands it: a
+        transaction's pseudo-delete of one of these keys must log after
+        the insert it observed, or media/restart replay reverses them.
+
+        Returns the number of keys physically inserted.
+        """
+        inserted = 0
+        work = [(kv, RID(*raw_rid)) for kv, raw_rid in keys]
+        index = 0
+        while index < len(work):
+            key_value, rid = work[index]
+            leaf = self._locate_ib_leaf(cursor, (key_value, rid))
+            yield Acquire(leaf.latch, EXCLUSIVE)
+            if not self._leaf_covers(leaf, (key_value, rid)):
+                # The leaf split while we waited for its latch (or the
+                # cursor went stale); drop it and locate afresh.
+                leaf.latch.release(self.system.sim.current)
+                cursor.leaf_no = None
+                continue
+            pending: list[tuple] = []
+            unique_check: Optional[tuple] = None
+            try:
+                while index < len(work):
+                    key_value, rid = work[index]
+                    composite = (key_value, rid)
+                    if not self._leaf_covers(leaf, composite):
+                        break  # next key lives elsewhere; re-locate
+                    action = self._ib_classify(leaf, key_value, rid)
+                    if action == "unique-check":
+                        unique_check = (key_value, rid)
+                        break
+                    if action == "reject":
+                        self.system.metrics.incr(
+                            "index.duplicate_rejections.ib")
+                        index += 1
+                        continue
+                    target = self._insert_sorted(
+                        leaf, KeyEntry(key_value, rid),
+                        specialized_for_ib=True)
+                    self.system.metrics.incr("index.inserts.ib")
+                    inserted += 1
+                    pending.append((key_value, tuple(rid)))
+                    index += 1
+                    cursor.leaf_no = target.page_no
+                    cursor.version = self.structure_version
+                    if target is not leaf:
+                        # A split moved the insert frontier to a page we
+                        # do not hold; end this latched group.
+                        break
+                if write_log and pending:
+                    self._log_ib_batch(ib_txn, pending)
+            finally:
+                leaf.latch.release(self.system.sim.current)
+            if pending:
+                yield Delay(self.system.config.key_op_cost
+                            * len(pending))
+            if unique_check is not None:
+                # Latch-free verification; may raise IndexBuildError.
+                settled = yield from self._ib_unique_check(
+                    ib_txn, *unique_check)
+                if not settled:
+                    index += 1  # key skipped (record vanished meanwhile)
+                # else: retry the same key from the top
+        return inserted
+
+    def _leaf_covers(self, leaf: LeafPage,
+                     composite: CompositeKey) -> bool:
+        """Does ``composite`` belong in ``leaf``'s separator-fenced range?
+
+        The fences come from the *parent separators*, not the leaf chain:
+        a leaf emptied by rollbacks still owns its range, and its first
+        entry may legally equal its own lower fence -- chain-derived
+        bounds get both cases wrong.
+        """
+        low_fence, high_fence = self._leaf_bounds(leaf.page_no)
+        if low_fence is not None and composite < low_fence:
+            return False
+        if high_fence is not None and composite >= high_fence:
+            return False
+        return True
+
+    def _leaf_bounds(self, leaf_no: int
+                     ) -> tuple[Optional[CompositeKey],
+                                Optional[CompositeKey]]:
+        """(lower fence, upper fence) of a leaf from its ancestors'
+        separators; None means unbounded on that side.  Cached per
+        structure version."""
+        cache = self._bounds_cache
+        if cache.get("version") != self.structure_version:
+            cache.clear()
+            cache["version"] = self.structure_version
+        bounds = cache.get(leaf_no)
+        if bounds is not None:
+            return bounds
+        path = self._path_to_leaf(leaf_no)
+        low_fence: Optional[CompositeKey] = None
+        high_fence: Optional[CompositeKey] = None
+        for branch, slot in path:
+            if slot > 0:
+                candidate = branch.separators[slot - 1]
+                if low_fence is None or candidate > low_fence:
+                    low_fence = candidate
+            if slot < len(branch.separators):
+                candidate = branch.separators[slot]
+                if high_fence is None or candidate < high_fence:
+                    high_fence = candidate
+        cache[leaf_no] = (low_fence, high_fence)
+        return low_fence, high_fence
+
+    def _locate_ib_leaf(self, cursor: IBCursor,
+                        composite: CompositeKey) -> LeafPage:
+        leaf = self._cursor_leaf(cursor, composite)
+        if leaf is not None:
+            self.system.metrics.incr("index.ib_path_reuses")
+            return leaf
+        leaf, _path = self._traverse(composite)
+        cursor.leaf_no = leaf.page_no
+        cursor.version = self.structure_version
+        return leaf
+
+    def _cursor_leaf(self, cursor: IBCursor,
+                     composite: CompositeKey) -> Optional[LeafPage]:
+        if cursor.leaf_no is None or cursor.version != self.structure_version:
+            return None
+        leaf = self.pages.get(cursor.leaf_no)
+        if not isinstance(leaf, LeafPage):
+            return None
+        if not self._leaf_covers(leaf, composite):
+            return None
+        return leaf
+
+    def _ib_classify(self, leaf: LeafPage, key_value, rid: RID) -> str:
+        """Decide IB's action for one key under the leaf latch.
+
+        Returns "insert", "reject", or "unique-check" (the caller must
+        verify committedness with the latch released, then retry).
+        """
+        if not self.unique:
+            if leaf.find_exact((key_value, rid)) is not None:
+                # Section 2.2.3: rejected inserts write no log record.
+                return "reject"
+            return "insert"
+        found = leaf.find_key_value(key_value)
+        if found is None and leaf.next_leaf is not None:
+            successor = self.pages[leaf.next_leaf]
+            if successor.entries \
+                    and successor.entries[0].key_value == key_value:
+                found = successor.entries[0]
+        if found is None:
+            return "insert"
+        if found.rid == rid:
+            return "reject"
+        return "unique-check"
+
+    def _ib_unique_check(self, ib_txn, key_value, rid: RID):
+        """Section 2.2.3: IB locks *both* records in share mode and
+        re-verifies whether two committed records share the key value; if
+        they do, the build is abnormally terminated.  Generator; returns
+        True when the caller should retry the insert, False to skip the
+        key (its record no longer exists or no longer has this key).
+        """
+        self.system.metrics.incr("index.ib_unique_checks")
+        table = self.system.tables[self.table_name]
+        _leaf, found = self._find_for_key_value(key_value)
+        if found is None or found.rid == rid:
+            return True
+        yield from ib_txn.lock(self._record_lock_name(found.rid), "S",
+                               instant=True)
+        yield from ib_txn.lock(self._record_lock_name(rid), "S",
+                               instant=True)
+        # Both records are now settled; re-verify the conflict.
+        _leaf, still = self._find_for_key_value(key_value)
+        if still is None or still.rid == rid:
+            return True
+        mine = yield from table.read_latched(rid)
+        if mine is None:
+            return False  # our record was deleted; drop the key
+        descriptor = self.system.indexes.get(self.name)
+        if descriptor is not None \
+                and descriptor.key_of(mine) != key_value:
+            return False  # our record was updated away from this key
+        if still.pseudo_deleted:
+            # Tombstone of a settled delete: revive it under IB's RID.
+            leaf, entry = self._find_for_key_value(key_value)
+            if entry is not None and entry.pseudo_deleted:
+                entry.rid = rid
+                entry.pseudo_deleted = False
+                self.system.metrics.incr("index.rid_replacements")
+                self.system.metrics.incr("index.inserts.ib")
+                return False  # handled here; no retry needed
+            return True
+        theirs = yield from table.read_latched(RID(*still.rid))
+        if theirs is None:
+            return True  # entry is stale; retry and re-evaluate
+        if descriptor is not None \
+                and descriptor.key_of(theirs) != key_value:
+            return True
+        raise IndexBuildError(
+            f"cannot build unique index {self.name}: committed records "
+            f"{rid} and {tuple(still.rid)} share key value {key_value!r}")
+
+    def sf_drain_apply(self, ib_txn: "Transaction", operation: str,
+                       key_value, rid: RID):
+        """Generator: apply one side-file entry to the tree (section 3.2.5).
+
+        IB "traverses the index from the root and, based on the entry in
+        the side-file, inserts or deletes the key in the index as a normal
+        transaction would do.  That is, IB writes undo-redo log records".
+        SF does not need pseudo deletion (section 4), so deletes are
+        physical.  Exact-composite matching keeps the drain idempotent; a
+        unique index may transiently hold two RIDs for one key value until
+        a later DELETE entry drains (final uniqueness is verified by the
+        builder when the drain completes).
+        """
+        rid = RID(*rid)
+        composite = (key_value, rid)
+        leaf, _path = self._traverse(composite)
+        yield Acquire(leaf.latch, EXCLUSIVE)
+        try:
+            exact = leaf.find_exact(composite)
+            if operation == "insert":
+                if exact is None:
+                    self._insert_sorted(leaf, KeyEntry(key_value, rid))
+                    self._log_key_op(ib_txn, "insert", key_value, rid,
+                                     undo_action="physical_delete")
+                    self.system.metrics.incr("index.inserts.drain")
+                elif exact.pseudo_deleted:
+                    exact.pseudo_deleted = False
+                    self._log_key_op(ib_txn, "reactivate", key_value, rid,
+                                     undo_action="pseudo_delete")
+            else:  # delete
+                if exact is not None:
+                    pos = leaf.position(composite)
+                    del leaf.entries[pos]
+                    self._log_key_op(ib_txn, "physical_delete", key_value,
+                                     rid, undo_action="insert")
+                    self.system.metrics.incr("index.deletes.drain")
+        finally:
+            leaf.latch.release(self.system.sim.current)
+        yield Delay(self.system.config.key_op_cost)
+
+    def verify_unique(self) -> None:
+        """Raise :class:`IndexBuildError` if a unique tree holds two live
+        entries with one key value (checked when an SF drain finishes)."""
+        if not self.unique:
+            return
+        previous = None
+        for entry in self.all_entries():
+            if previous is not None and previous.key_value == entry.key_value:
+                raise IndexBuildError(
+                    f"cannot build unique index {self.name}: records "
+                    f"{tuple(previous.rid)} and {tuple(entry.rid)} share "
+                    f"key value {entry.key_value!r}")
+            previous = entry
+
+    # -- IB batch logging ------------------------------------------------
+
+    def _log_ib_batch(self, ib_txn, keys: list[tuple]) -> None:
+        """One undo-redo record covering the keys just inserted under a
+        single leaf-latch hold ("the log record can contain multiple
+        keys", section 2.2.3)."""
+        ib_txn.log(
+            RecordKind.UPDATE,
+            redo=("index.apply", {"index": self.name,
+                                  "action": "insert_many",
+                                  "keys": list(keys)}),
+            undo=("index.undo", {"index": self.name,
+                                 "action": "remove_many",
+                                 "keys": list(keys)}),
+            info={"index": self.name},
+            writer="ib",
+        )
+
+    # ------------------------------------------------------------------
+    # logging helpers
+    # ------------------------------------------------------------------
+
+    def _log_key_op(self, txn, action: str, key_value, rid, *,
+                    undo_action: str, extra: Optional[dict] = None) -> None:
+        args = {"index": self.name, "action": action,
+                "key_value": key_value, "rid": tuple(rid)}
+        undo_args = {"index": self.name, "action": undo_action,
+                     "key_value": key_value, "rid": tuple(rid)}
+        if extra:
+            args.update(extra)
+            undo_args.update(extra)
+        txn.log(RecordKind.UPDATE,
+                redo=("index.apply", args),
+                undo=("index.undo", undo_args),
+                info={"index": self.name})
+
+    # ------------------------------------------------------------------
+    # logical apply (shared by redo and undo)
+    # ------------------------------------------------------------------
+
+    def apply_logical(self, action: str, key_value, rid, *,
+                      extra: Optional[dict] = None) -> None:
+        """Apply one logical key operation, idempotently.
+
+        Used by restart-recovery redo and by rollback's logical undo; the
+        tree is traversed afresh because the key may have moved pages
+        since the log record was written.
+        """
+        if action in ("insert_many", "remove_many"):
+            inner = "insert" if action == "insert_many" else "physical_delete"
+            for kv, r in extra["keys"]:
+                self.apply_logical(inner, kv, r)
+            return
+        rid = RID(*rid)
+        composite = (key_value, rid)
+        leaf = self._leaf_holding(composite)
+        if leaf is None:
+            leaf = self._ensure_root()
+        exact = leaf.find_exact(composite)
+        if action == "insert":
+            if exact is None:
+                self._insert_sorted(leaf, KeyEntry(key_value, rid))
+            else:
+                exact.pseudo_deleted = False
+        elif action == "insert_tombstone":
+            if exact is None:
+                self._insert_sorted(
+                    leaf, KeyEntry(key_value, rid, pseudo_deleted=True))
+            else:
+                exact.pseudo_deleted = True
+        elif action == "pseudo_delete":
+            if exact is not None:
+                exact.pseudo_deleted = True
+        elif action == "reactivate":
+            if exact is not None:
+                exact.pseudo_deleted = False
+            else:
+                self._insert_sorted(leaf, KeyEntry(key_value, rid))
+        elif action == "physical_delete":
+            if exact is not None:
+                pos = leaf.position(composite)
+                del leaf.entries[pos]
+        elif action == "replace_rid":
+            old_rid = RID(*extra["old_rid"])
+            old_leaf = self._leaf_holding((key_value, old_rid))
+            old_entry = (old_leaf.find_exact((key_value, old_rid))
+                         if old_leaf is not None else None)
+            if old_entry is not None:
+                old_entry.rid = rid
+                old_entry.pseudo_deleted = False
+            elif exact is not None:
+                exact.pseudo_deleted = False
+        elif action == "restore_entry":
+            # undo of replace_rid: put back <key, old_rid> pseudo-deleted
+            old_rid = RID(*extra["old_rid"])
+            if exact is not None:
+                exact.rid = old_rid
+                exact.pseudo_deleted = bool(extra.get("old_pseudo", True))
+        else:  # pragma: no cover - exhaustive dispatch
+            raise StorageError(f"unknown index action {action!r}")
+
+    def _leaf_holding(self, composite: CompositeKey) -> Optional[LeafPage]:
+        if self.root is None:
+            return None
+        node = self.pages[self.root]
+        while isinstance(node, BranchPage):
+            child_no, _slot = node.child_for(composite)
+            node = self.pages[child_no]
+        return node
+
+    # ------------------------------------------------------------------
+    # recovery integration
+    # ------------------------------------------------------------------
+
+    def _register_operations(self) -> None:
+        ops = self.system.log.operations
+        if ops.knows("index.apply"):
+            return
+        ops.register("index.apply", redo=_redo_index)
+        ops.register("index.split", redo=_redo_noop)
+        ops.register("index.undo", redo=_reject_redo, undo=_undo_index)
+
+    def force(self) -> None:
+        """Write a stable snapshot of the whole tree.
+
+        Models "after all the dirty pages of the index have been written
+        to disk" (section 3.2.4).  Log records at or below the recorded
+        ``durable_lsn`` need no redo after a crash.
+        """
+        self._snapshot = self._serialize()
+        self.durable_lsn = self.system.log.last_lsn
+        self._snapshot_durable_lsn = self.durable_lsn
+        self.system.metrics.incr("index.forces")
+
+    def crash(self) -> None:
+        """Revert to the last stable snapshot (or empty)."""
+        if self._snapshot is None:
+            self.pages.clear()
+            self.root = None
+            self._next_page_no = 0
+            self.structure_version += 1
+            self.durable_lsn = 0
+            return
+        self._deserialize(self._snapshot)
+        self.structure_version += 1
+        self.durable_lsn = self._snapshot_durable_lsn
+
+    def _serialize(self) -> dict:
+        pages = {}
+        for no, page in self.pages.items():
+            if isinstance(page, LeafPage):
+                pages[no] = ("leaf", page.capacity, page.next_leaf,
+                             [(e.key_value, tuple(e.rid), e.pseudo_deleted)
+                              for e in page.entries])
+            else:
+                pages[no] = ("branch", page.capacity,
+                             list(page.separators), list(page.children))
+        return {"pages": pages, "root": self.root,
+                "next_page_no": self._next_page_no}
+
+    def _deserialize(self, blob: dict) -> None:
+        self.pages.clear()
+        for no, data in blob["pages"].items():
+            if data[0] == "leaf":
+                _kind, capacity, next_leaf, entries = data
+                leaf = LeafPage(no, capacity, metrics=self.system.metrics)
+                leaf.next_leaf = next_leaf
+                leaf.entries = [KeyEntry(kv, RID(*r), pd)
+                                for kv, r, pd in entries]
+                self.pages[no] = leaf
+            else:
+                _kind, capacity, separators, children = data
+                branch = BranchPage(no, capacity,
+                                    metrics=self.system.metrics)
+                branch.separators = [tuple(s) for s in separators]
+                branch.children = list(children)
+                self.pages[no] = branch
+        self.root = blob["root"]
+        self._next_page_no = blob["next_page_no"]
+
+    # ------------------------------------------------------------------
+    # read access and audits
+    # ------------------------------------------------------------------
+
+    def search(self, key_value, rid: Optional[RID] = None):
+        """Generator: latch-and-read one entry (or first for key value)."""
+        if rid is not None:
+            leaf, _path = self._traverse((key_value, rid))
+        else:
+            leaf, _entry = self._find_for_key_value(key_value)
+            self.system.metrics.incr("index.traversals")
+        yield Acquire(leaf.latch, SHARE)
+        try:
+            if rid is not None:
+                entry = leaf.find_exact((key_value, rid))
+            else:
+                entry = leaf.find_key_value(key_value)
+        finally:
+            leaf.latch.release(self.system.sim.current)
+        yield Delay(self.system.config.tree_visit_cost)
+        return entry
+
+    def leaf_chain(self) -> Iterator[LeafPage]:
+        """Leaves in key order (audit; no latching)."""
+        if self.root is None:
+            return
+        node = self.pages[self.root]
+        while isinstance(node, BranchPage):
+            node = self.pages[node.children[0]]
+        while node is not None:
+            yield node
+            node = (self.pages[node.next_leaf]
+                    if node.next_leaf is not None else None)
+
+    def all_entries(self, include_pseudo_deleted: bool = False
+                    ) -> Iterator[KeyEntry]:
+        for leaf in self.leaf_chain():
+            for entry in leaf.entries:
+                if include_pseudo_deleted or not entry.pseudo_deleted:
+                    yield entry
+
+    def key_count(self, include_pseudo_deleted: bool = False) -> int:
+        return sum(1 for _ in self.all_entries(include_pseudo_deleted))
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages)
+
+    @property
+    def height(self) -> int:
+        if self.root is None:
+            return 0
+        depth = 1
+        node = self.pages[self.root]
+        while isinstance(node, BranchPage):
+            node = self.pages[node.children[0]]
+            depth += 1
+        return depth
+
+    def clustering_factor(self) -> float:
+        """Fraction of adjacent leaf pairs stored in physical order.
+
+        Section 4: "consecutive keys being on consecutive pages on disk";
+        1.0 means an ascending full scan reads the index file sequentially
+        (the bottom-up ideal of section 2.3.1).
+        """
+        leaves = list(self.leaf_chain())
+        if len(leaves) <= 1:
+            return 1.0
+        in_order = sum(1 for a, b in zip(leaves, leaves[1:])
+                       if b.page_no > a.page_no)
+        return in_order / (len(leaves) - 1)
+
+
+# -- recovery handlers (generators) ----------------------------------------
+
+
+def _redo_index(system: "System", record: LogRecord):
+    _op, args = record.redo
+    tree = _tree_for(system, args["index"])
+    if tree is None or record.lsn <= tree.durable_lsn:
+        return
+    action = args["action"]
+    if action in ("insert_many", "remove_many"):
+        tree.apply_logical(action, None, (0, 0), extra=args)
+    else:
+        tree.apply_logical(action, args["key_value"], args["rid"],
+                           extra=args)
+    system.metrics.incr("recovery.index_redos")
+    return
+    yield  # pragma: no cover - generator shape
+
+
+def _redo_noop(system: "System", record: LogRecord):
+    return
+    yield  # pragma: no cover
+
+
+def _reject_redo(system: "System", record: LogRecord):  # pragma: no cover
+    raise AssertionError("index undo payloads are never redone")
+
+
+def _undo_index(system: "System", txn: "Transaction", record: LogRecord):
+    _op, args = record.undo
+    tree = _tree_for(system, args["index"])
+    if tree is not None:
+        action = args["action"]
+        if action in ("insert_many", "remove_many"):
+            tree.apply_logical(action, None, (0, 0), extra=args)
+        else:
+            tree.apply_logical(action, args["key_value"], args["rid"],
+                               extra=args)
+        system.metrics.incr("index.logical_undos")
+    clr_redo = ("index.apply", dict(args))
+    yield Delay(system.config.key_op_cost)
+    return clr_redo, None
+
+
+def _tree_for(system: "System", index_name: str):
+    descriptor = system.indexes.get(index_name)
+    if descriptor is None:
+        return None
+    return getattr(descriptor, "tree", None)

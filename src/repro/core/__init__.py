@@ -1,0 +1,90 @@
+"""The paper's contribution: online index build (NSF and SF).
+
+Public entry points:
+
+* :class:`NSFIndexBuilder` -- algorithm NSF (section 2);
+* :class:`SFIndexBuilder` -- algorithm SF (section 3);
+* :class:`OfflineIndexBuilder` -- the quiesced baseline;
+* :func:`resume_build` -- restart an interrupted build after recovery;
+* :func:`cleanup_pseudo_deleted` -- background GC (section 2.2.4);
+* :func:`cancel_build` -- drop an in-progress build (section 2.3.2).
+"""
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.base import BuilderBase, BuildOptions, IndexSpec
+from repro.core.cancel import cancel_build
+from repro.core.cleanup import cleanup_pseudo_deleted
+from repro.core.descriptor import IndexDescriptor, IndexState
+from repro.core.maintenance import (
+    BuildContext,
+    IndexMaintenance,
+    NSF_MODE,
+    OFFLINE_MODE,
+    SF_MODE,
+    install_maintenance,
+)
+from repro.core.nsf import NSFIndexBuilder, nsf_pre_undo
+from repro.core.offline import OfflineIndexBuilder
+from repro.core.sf import SFIndexBuilder, sf_pre_undo
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+BUILDERS = {
+    "nsf": NSFIndexBuilder,
+    "sf": SFIndexBuilder,
+    "offline": OfflineIndexBuilder,
+}
+
+
+def build_pre_undo(system: "System", utility_state: dict) -> None:
+    """Recovery hook reinstalling build context before the undo pass.
+
+    Pass this as ``pre_undo`` to :func:`repro.recovery.restart.restart`
+    whenever an index build might have been interrupted.
+    """
+    builder = utility_state.get("builder")
+    if builder == "sf":
+        sf_pre_undo(system, utility_state)
+    elif builder == "nsf":
+        nsf_pre_undo(system, utility_state)
+
+
+def resume_build(system: "System", utility_state: dict
+                 ) -> Optional[BuilderBase]:
+    """Reconstruct the interrupted builder from a utility checkpoint.
+
+    Returns None when no build was in progress (or it had finished).
+    Spawn the returned builder's ``run()`` to continue the build.
+    """
+    mode = utility_state.get("builder")
+    if mode not in ("nsf", "sf"):
+        return None
+    if utility_state.get("phase") == "done":
+        return None
+    builder_cls = BUILDERS[mode]
+    return builder_cls.resume(system, utility_state)
+
+
+__all__ = [
+    "BUILDERS",
+    "BuildContext",
+    "BuildOptions",
+    "BuilderBase",
+    "IndexDescriptor",
+    "IndexMaintenance",
+    "IndexSpec",
+    "IndexState",
+    "NSFIndexBuilder",
+    "NSF_MODE",
+    "OFFLINE_MODE",
+    "OfflineIndexBuilder",
+    "SFIndexBuilder",
+    "SF_MODE",
+    "build_pre_undo",
+    "cancel_build",
+    "cleanup_pseudo_deleted",
+    "install_maintenance",
+    "resume_build",
+]

@@ -1,0 +1,352 @@
+"""Shared machinery for the index builders (IB).
+
+Both algorithms share their first half (section 2.2.2 / 3.2.2): a
+sequential scan of the data pages with sequential prefetch, latching each
+page in share mode, extracting one key per record per index being built
+(section 6.2: several indexes can share the scan), feeding a pipelined
+restartable sort, and periodically checkpointing the sort against the WAL
+so a crash does not force a full rescan (section 5).
+
+Subclasses provide the second half: NSF inserts the sorted keys top-down
+into a live tree; SF bulk-loads bottom-up and then drains the side-file;
+Offline holds an X table lock for the whole build (the baseline the paper
+wants to eliminate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from repro.core.descriptor import IndexDescriptor, IndexState
+from repro.core.maintenance import BuildContext, install_maintenance
+from repro.sim.kernel import Acquire, Delay
+from repro.sim.latch import SHARE
+from repro.sort import RunFormation, RunStore, final_merger
+from repro.storage.rid import RID
+from repro.wal.manager import LogManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.table import Table
+    from repro.system import System
+    from repro.txn.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """What to build: one index's name, key columns, and uniqueness."""
+
+    name: str
+    key_columns: tuple[str, ...]
+    unique: bool = False
+
+    @classmethod
+    def of(cls, name: str, key_columns: Sequence[str],
+           unique: bool = False) -> "IndexSpec":
+        return cls(name, tuple(key_columns), unique)
+
+
+@dataclass
+class BuildOptions:
+    """Tunables for one build run (None -> take the system default)."""
+
+    #: pages per prefetch I/O during the data scan (section 2.2.2)
+    prefetch_pages: Optional[int] = None
+    #: parallel reader processes for the data scan (section 2.2.2,
+    #: [PMCLS90]: "the data pages may be read in parallel using multiple
+    #: processes").  Only NSF and offline honour this: SF's Current-RID
+    #: visibility rule requires a single ordered scan position.
+    parallel_readers: int = 1
+    #: scan-phase checkpoint interval, in data pages (None = no periodic
+    #: scan checkpoints; a checkpoint is still taken at phase boundaries)
+    checkpoint_every_pages: Optional[int] = None
+    #: NSF: keys per multi-key index-manager call (section 2.2.3)
+    ib_batch_keys: Optional[int] = None
+    #: NSF: commit the IB transaction every this many inserted keys
+    commit_every_keys: int = 512
+    #: insert/load/drain-phase checkpoint interval, in keys or entries
+    checkpoint_every_keys: Optional[int] = None
+    #: sort workspace (tournament slots)
+    sort_workspace: Optional[int] = None
+    #: merge fan-in
+    merge_fanin: Optional[int] = None
+    #: free space left in each bulk-loaded leaf (section 2.2.3)
+    fill_free_fraction: Optional[float] = None
+    #: NSF: use the specialized IB split of section 2.3.1
+    specialized_splits: bool = True
+    #: SF: sort the first chunk of the side-file before applying it
+    #: (section 3.2.5 performance note)
+    sort_sidefile: bool = False
+    #: simulated time per key extracted during the scan
+    key_extract_cost: float = 0.05
+
+
+class BuilderBase:
+    """Common state and phases of one index-build utility run."""
+
+    mode = "offline"
+
+    def __init__(self, system: "System", table: "Table",
+                 specs: Sequence[IndexSpec] | IndexSpec,
+                 options: Optional[BuildOptions] = None) -> None:
+        self.system = system
+        self.table = table
+        if isinstance(specs, IndexSpec):
+            specs = [specs]
+        if not specs:
+            raise ValueError("at least one index spec required")
+        self.specs = list(specs)
+        self.options = options or BuildOptions()
+        self.descriptors: list[IndexDescriptor] = []
+        self.context: Optional[BuildContext] = None
+        self.timings: dict[str, float] = {}
+        self.error: Optional[BaseException] = None
+        self._sorters: dict[str, RunFormation] = {}
+
+    # -- option resolution -------------------------------------------------
+
+    @property
+    def prefetch_pages(self) -> int:
+        return self.options.prefetch_pages \
+            or self.system.config.prefetch_pages
+
+    @property
+    def sort_workspace(self) -> int:
+        return self.options.sort_workspace \
+            or self.system.config.sort_workspace
+
+    @property
+    def merge_fanin(self) -> int:
+        return self.options.merge_fanin or self.system.config.merge_fanin
+
+    @property
+    def ib_batch_keys(self) -> int:
+        return self.options.ib_batch_keys \
+            or self.system.config.ib_batch_keys
+
+    # -- catalog steps ----------------------------------------------------------
+
+    def _create_descriptors(self) -> None:
+        for spec in self.specs:
+            descriptor = IndexDescriptor(
+                self.system, self.table, spec.name, spec.key_columns,
+                unique=spec.unique)
+            descriptor.build_mode = self.mode
+            descriptor.attach()
+            self.descriptors.append(descriptor)
+        install_maintenance(self.system, self.table)
+
+    def _install_context(self, **kwargs) -> BuildContext:
+        context = BuildContext(mode=self.mode,
+                               descriptors=list(self.descriptors), **kwargs)
+        self.system.builds[self.table.name] = context
+        self.context = context
+        return context
+
+    def _remove_context(self) -> None:
+        self.system.builds.pop(self.table.name, None)
+        self.context = None
+
+    def _mark_available(self) -> None:
+        for descriptor in self.descriptors:
+            descriptor.state = IndexState.AVAILABLE
+
+    # -- sort plumbing -------------------------------------------------------------
+
+    def _store_name(self, descriptor: IndexDescriptor) -> str:
+        return f"sort:{descriptor.name}"
+
+    def _store_for(self, descriptor: IndexDescriptor) -> RunStore:
+        name = self._store_name(descriptor)
+        store = self.system.run_stores.get(name)
+        if store is None:
+            store = RunStore(prefix=name)
+            self.system.run_stores[name] = store
+        return store
+
+    def _make_sorters(self) -> None:
+        for descriptor in self.descriptors:
+            self._sorters[descriptor.name] = RunFormation(
+                self._store_for(descriptor), self.sort_workspace)
+
+    # -- the shared data scan (generator) ----------------------------------------------
+
+    def _scan_and_sort(self, start_page: int = 0):
+        """Scan the data pages, extract keys, feed the pipelined sort.
+
+        Section 2.3.1: "The last page to be processed by the data page
+        scan can be noted before starting IB's data scan so that if there
+        are any extensions of the file after IB starts, IB does not have
+        to process the new pages."
+        """
+        table = self.table
+        noted_last_page = table.page_count
+        checkpoint_every = self.options.checkpoint_every_pages
+        page_no = start_page
+        pages_since_checkpoint = 0
+        while True:
+            last_page = self._scan_limit(noted_last_page)
+            if page_no >= last_page:
+                break
+            upto = min(page_no + self.prefetch_pages, last_page)
+            batch_ids = [table.page_id(p) for p in range(page_no, upto)]
+            pages = yield from self.system.buffer.fetch_sequential(batch_ids)
+            for page in pages:
+                yield Acquire(page.latch, SHARE)
+                try:
+                    records = page.live_records()
+                    for rid, record in records:
+                        for descriptor in self.descriptors:
+                            self._sorters[descriptor.name].push(
+                                (descriptor.key_of(record), tuple(rid)))
+                    if records:
+                        yield Delay(len(records)
+                                    * self.options.key_extract_cost)
+                    self._after_page_scanned(page)
+                finally:
+                    page.latch.release(self.system.sim.current)
+                self.system.metrics.incr("build.pages_scanned")
+            pages_since_checkpoint += len(batch_ids)
+            page_no = upto
+            if checkpoint_every is not None \
+                    and pages_since_checkpoint >= checkpoint_every \
+                    and page_no < last_page:
+                self._checkpoint_scan(page_no)
+                pages_since_checkpoint = 0
+        return last_page
+
+    def _scan_and_sort_parallel(self, start_page: int = 0):
+        """Parallel variant of the data scan (section 2.2.2, [PMCLS90]).
+
+        The page range splits into contiguous stripes, one reader process
+        per stripe; their I/O delays overlap on the simulated clock.
+        Pushes into the shared sorters are atomic (simulator semantics),
+        so no extra synchronisation is needed.  Periodic scan checkpoints
+        are skipped in parallel mode (positions are per-stripe); the
+        phase-transition checkpoint still bounds the loss.
+        """
+        table = self.table
+        last_page = table.page_count
+        readers = max(1, self.options.parallel_readers)
+        stripe = max(1, (last_page - start_page + readers - 1) // readers)
+
+        def reader_body(first: int, limit: int):
+            page_no = first
+            while page_no < limit:
+                upto = min(page_no + self.prefetch_pages, limit)
+                batch_ids = [table.page_id(p)
+                             for p in range(page_no, upto)]
+                pages = yield from self.system.buffer.fetch_sequential(
+                    batch_ids)
+                for page in pages:
+                    yield Acquire(page.latch, SHARE)
+                    try:
+                        records = page.live_records()
+                        for rid, record in records:
+                            for descriptor in self.descriptors:
+                                self._sorters[descriptor.name].push(
+                                    (descriptor.key_of(record),
+                                     tuple(rid)))
+                        if records:
+                            yield Delay(len(records)
+                                        * self.options.key_extract_cost)
+                    finally:
+                        page.latch.release(self.system.sim.current)
+                    self.system.metrics.incr("build.pages_scanned")
+                page_no = upto
+
+        from repro.sim.kernel import Join
+        procs = []
+        first = start_page
+        while first < last_page:
+            limit = min(first + stripe, last_page)
+            procs.append(self.system.spawn(
+                reader_body(first, limit),
+                name=f"ib-reader-{len(procs)}"))
+            first = limit
+        self.system.metrics.incr("build.parallel_readers", len(procs))
+        for proc in procs:
+            yield Join(proc)
+            if proc.error is not None:  # pragma: no cover - reader bug
+                raise proc.error
+        return last_page
+
+    def _scan_limit(self, noted_last_page: int) -> int:
+        """How far the scan goes.
+
+        Default (NSF, offline): the page count noted before the scan
+        started -- "IB does not have to process the new pages.
+        Transactions would insert directly into the index the keys of
+        records belonging to those new pages" (section 2.3.1), which works
+        because an NSF index is visible from descriptor creation.
+
+        SF overrides this: its visibility rule means records ahead of
+        Current-RID make no side-file entries, so the scan must chase the
+        end of file; extensions after the scan ends are covered by
+        Current-RID = infinity (section 3.2.2).
+        """
+        return noted_last_page
+
+    def _after_page_scanned(self, page) -> None:
+        """Hook: SF advances Current-RID here, under the page latch."""
+
+    def _checkpoint_scan(self, next_page: int) -> None:
+        manifests = {name: sorter.checkpoint(scan_position=next_page)
+                     for name, sorter in self._sorters.items()}
+        self._write_utility_checkpoint({
+            "phase": "scan",
+            "next_page": next_page,
+            "sort": manifests,
+        })
+        self.system.metrics.incr("build.scan_checkpoints")
+
+    def _finish_sort(self) -> dict[str, list]:
+        return {name: sorter.finish()
+                for name, sorter in self._sorters.items()}
+
+    def _final_merger(self, descriptor: IndexDescriptor, runs):
+        return final_merger(self._store_for(descriptor), runs,
+                            self.merge_fanin)
+
+    # -- WAL checkpoint plumbing -----------------------------------------------------------
+
+    def _write_utility_checkpoint(self, state: dict) -> None:
+        # "This checkpointing to stable storage is done after all the
+        # dirty pages of the index have been written to disk" (§3.2.4):
+        # force each build tree so redo starts from this point.
+        for descriptor in self.descriptors:
+            descriptor.tree.force()
+        payload = {
+            "builder": self.mode,
+            "table": self.table.name,
+            "indexes": [d.name for d in self.descriptors],
+            "specs": [(s.name, list(s.key_columns), s.unique)
+                      for s in self.specs],
+        }
+        payload.update(state)
+        if self.context is not None:
+            payload["current_rid"] = tuple(self.context.current_rid)
+            payload["index_build"] = self.context.index_build
+        self.system.log.write_checkpoint(
+            _txn_table_snapshot(self.system),
+            dict(self.system.buffer.dirty),
+            payload,
+        )
+        self.system.metrics.incr("build.utility_checkpoints")
+
+    # -- timing helpers -------------------------------------------------------------------------
+
+    def _mark(self, label: str) -> None:
+        self.timings[label] = self.system.sim.now
+
+
+def _txn_table_snapshot(system: "System") -> dict:
+    """The transaction table recorded in a fuzzy checkpoint."""
+    table = {}
+    for txn_id, txn in system.txns.active.items():
+        table[txn_id] = {
+            "first_lsn": txn.first_lsn,
+            "last_lsn": txn.last_lsn,
+            "committed": False,
+        }
+    return table

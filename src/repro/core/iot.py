@@ -1,0 +1,450 @@
+"""Extension: online index build over an index-organized table (§6.2).
+
+"Our algorithms can also be easily extended to the storage model in which
+the records are stored in the primary index and the primary key is
+required to be unique.  We would perform a complete range scan of the
+primary index to construct the keys for the new index.  In SF, in the
+place of Current-RID, we would use the current-key as the scan position.
+Since the primary key has to be unique, this position also would be a
+unique one in the index."
+
+This module provides:
+
+* :class:`IOTable` -- a table whose records live in a unique primary
+  B+-tree keyed by the first column; secondary index entries are
+  ``<key value, primary key>`` (the primary key is encoded in the RID slot
+  of the secondary tree's entries, as ``RID(pk, 0)``);
+* :class:`SFIotBuilder` -- the SF algorithm over that storage model: a
+  range scan of the primary index with ``current_key`` as the scan
+  position, a side-file for changes behind the scan, bottom-up load, and
+  a drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, TYPE_CHECKING
+
+from repro.btree.loader import BulkLoader
+from repro.btree.tree import BTree
+from repro.errors import RecordNotFoundError, StorageError
+from repro.sidefile import SideFile, register_sidefile_operations
+from repro.sim.kernel import Acquire, Delay
+from repro.sim.latch import EXCLUSIVE, SHARE
+from repro.sort import RunFormation, RunStore, final_merger
+from repro.storage.page import Record
+from repro.storage.rid import RID
+from repro.wal.records import LogRecord, RecordKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+    from repro.txn.transaction import Transaction
+
+#: Scan-position sentinel: "the whole key range has been scanned".
+KEY_INFINITY = object()
+
+
+@dataclass
+class IotSecondaryIndex:
+    """Catalog entry for one secondary index over an :class:`IOTable`."""
+
+    name: str
+    key_columns: tuple[int, ...]   # column positions within the record
+    tree: BTree
+    available: bool = False
+
+    def key_of(self, record: Record) -> tuple:
+        return record.project(self.key_columns)
+
+
+class IOTable:
+    """A table stored in its (unique) primary index.
+
+    The first column is the primary key.  Rows are kept in a dict (the
+    "data" part of the primary index's leaf entries) while a unique
+    :class:`BTree` maintains ordering for range scans; both are updated
+    under WAL protection so crash recovery replays them.
+    """
+
+    def __init__(self, system: "System", name: str,
+                 columns: Sequence[str]) -> None:
+        self.system = system
+        self.name = name
+        self.columns = tuple(columns)
+        self.primary = BTree(system, f"{name}.pk", name, unique=True)
+        self.rows: dict = {}
+        self.secondary: list[IotSecondaryIndex] = []
+        #: active SF build over this table, if any
+        self.build: Optional["SFIotBuilder"] = None
+        self._register_operations()
+
+    # -- key helpers -------------------------------------------------------
+
+    def column_indexes(self, columns: Sequence[str]) -> tuple[int, ...]:
+        try:
+            return tuple(self.columns.index(c) for c in columns)
+        except ValueError as exc:
+            raise StorageError(f"unknown column in {columns!r}") from exc
+
+    def lock_name(self, pk) -> tuple:
+        """Data-only locking: key locks equal record locks (section 6.2)."""
+        return ("iot", self.name, pk)
+
+    @staticmethod
+    def pk_rid(pk) -> RID:
+        """The primary key encoded in a secondary entry's RID slot."""
+        return RID(pk, 0)
+
+    # -- record operations (generators) ---------------------------------------
+
+    def insert(self, txn: "Transaction", values: Sequence):
+        record = Record(tuple(values))
+        pk = values[0]
+        yield from txn.lock(self.lock_name(pk), "X")
+        if pk in self.rows:
+            raise StorageError(f"duplicate primary key {pk!r}")
+        behind = self._behind_scan(pk)
+        self.rows[pk] = record
+        self.primary.apply_logical("insert", pk, RID(0, 0))
+        txn.log(RecordKind.UPDATE,
+                redo=("iot.put", {"table": self.name, "pk": pk,
+                                  "values": record.values}),
+                undo=("iot.insert", {"table": self.name, "pk": pk,
+                                     "values": record.values}),
+                info={"table": self.name, "behind_scan": behind})
+        self._maintain(txn, pk, None, record, behind)
+        yield Delay(self.system.config.record_op_cost)
+        self.system.metrics.incr("iot.inserts")
+        return pk
+
+    def delete(self, txn: "Transaction", pk):
+        yield from txn.lock(self.lock_name(pk), "X")
+        record = self.rows.get(pk)
+        if record is None:
+            raise RecordNotFoundError(f"{self.name} has no row {pk!r}")
+        behind = self._behind_scan(pk)
+        del self.rows[pk]
+        self.primary.apply_logical("physical_delete", pk, RID(0, 0))
+        txn.log(RecordKind.UPDATE,
+                redo=("iot.del", {"table": self.name, "pk": pk}),
+                undo=("iot.delete", {"table": self.name, "pk": pk,
+                                     "values": record.values}),
+                info={"table": self.name, "behind_scan": behind})
+        self._maintain(txn, pk, record, None, behind)
+        yield Delay(self.system.config.record_op_cost)
+        self.system.metrics.incr("iot.deletes")
+        return record
+
+    def update(self, txn: "Transaction", pk, new_values: Sequence):
+        """Update non-key columns (the primary key itself is immutable;
+        change it with delete+insert, as index-organized stores require)."""
+        if new_values[0] != pk:
+            raise StorageError("primary key update must be delete+insert")
+        yield from txn.lock(self.lock_name(pk), "X")
+        old = self.rows.get(pk)
+        if old is None:
+            raise RecordNotFoundError(f"{self.name} has no row {pk!r}")
+        behind = self._behind_scan(pk)
+        new = Record(tuple(new_values))
+        self.rows[pk] = new
+        txn.log(RecordKind.UPDATE,
+                redo=("iot.put", {"table": self.name, "pk": pk,
+                                  "values": new.values}),
+                undo=("iot.update", {"table": self.name, "pk": pk,
+                                     "old_values": old.values,
+                                     "new_values": new.values}),
+                info={"table": self.name, "behind_scan": behind})
+        self._maintain_update(txn, pk, old, new, behind)
+        yield Delay(self.system.config.record_op_cost)
+        self.system.metrics.incr("iot.updates")
+        return old, new
+
+    def read(self, txn: "Transaction", pk):
+        yield from txn.lock(self.lock_name(pk), "S")
+        record = self.rows.get(pk)
+        if record is None:
+            raise RecordNotFoundError(f"{self.name} has no row {pk!r}")
+        return record
+
+    # -- visibility (current-key in place of Current-RID) -----------------------
+
+    def _behind_scan(self, pk) -> bool:
+        """Is ``pk`` behind the in-progress build's scan position?"""
+        if self.build is None:
+            return False
+        position = self.build.current_key
+        if position is None:
+            return False
+        if position is KEY_INFINITY:
+            return True
+        return pk < position
+
+    # -- secondary maintenance ------------------------------------------------------
+
+    def _maintain(self, txn, pk, old: Optional[Record],
+                  new: Optional[Record], behind: bool) -> None:
+        for index in self.secondary:
+            if index.available:
+                self._direct(txn, index, pk, old, new)
+            elif self.build is not None \
+                    and index in self.build.indexes and behind:
+                sidefile = self.system.sidefiles[index.name]
+                if old is not None:
+                    sidefile.append_sync(txn, "delete", index.key_of(old),
+                                         self.pk_rid(pk))
+                if new is not None:
+                    sidefile.append_sync(txn, "insert", index.key_of(new),
+                                         self.pk_rid(pk))
+
+    def _maintain_update(self, txn, pk, old: Record, new: Record,
+                         behind: bool) -> None:
+        for index in self.secondary:
+            old_key = index.key_of(old)
+            new_key = index.key_of(new)
+            if old_key == new_key:
+                continue
+            if index.available:
+                self._direct(txn, index, pk, old, new)
+            elif self.build is not None \
+                    and index in self.build.indexes and behind:
+                sidefile = self.system.sidefiles[index.name]
+                sidefile.append_sync(txn, "delete", old_key,
+                                     self.pk_rid(pk))
+                sidefile.append_sync(txn, "insert", new_key,
+                                     self.pk_rid(pk))
+
+    def _direct(self, txn, index: IotSecondaryIndex, pk,
+                old: Optional[Record], new: Optional[Record]) -> None:
+        rid = self.pk_rid(pk)
+        if old is not None:
+            index.tree.apply_logical("physical_delete", index.key_of(old),
+                                     rid)
+            txn.log(RecordKind.UPDATE,
+                    redo=("index.apply", {"index": index.name,
+                                          "action": "physical_delete",
+                                          "key_value": index.key_of(old),
+                                          "rid": tuple(rid)}),
+                    undo=("index.undo", {"index": index.name,
+                                         "action": "insert",
+                                         "key_value": index.key_of(old),
+                                         "rid": tuple(rid)}),
+                    info={"index": index.name})
+        if new is not None:
+            index.tree.apply_logical("insert", index.key_of(new), rid)
+            txn.log(RecordKind.UPDATE,
+                    redo=("index.apply", {"index": index.name,
+                                          "action": "insert",
+                                          "key_value": index.key_of(new),
+                                          "rid": tuple(rid)}),
+                    undo=("index.undo", {"index": index.name,
+                                         "action": "physical_delete",
+                                         "key_value": index.key_of(new),
+                                         "rid": tuple(rid)}),
+                    info={"index": index.name})
+
+    # -- scans and audits --------------------------------------------------------------
+
+    def range_scan(self) -> Iterator[tuple]:
+        """(pk, record) pairs in primary-key order (audit; no latching)."""
+        for pk in sorted(self.rows):
+            yield pk, self.rows[pk]
+
+    # -- recovery ---------------------------------------------------------------------------
+
+    def _register_operations(self) -> None:
+        ops = self.system.log.operations
+        if ops.knows("iot.put"):
+            return
+        ops.register("iot.put", redo=_redo_iot_put)
+        ops.register("iot.del", redo=_redo_iot_del)
+        ops.register("iot.insert", redo=_reject, undo=_undo_iot_insert)
+        ops.register("iot.delete", redo=_reject, undo=_undo_iot_delete)
+        ops.register("iot.update", redo=_reject, undo=_undo_iot_update)
+
+
+class SFIotBuilder:
+    """SF over an index-organized table: current-key scan position."""
+
+    def __init__(self, system: "System", table: IOTable, name: str,
+                 key_columns: Sequence[str],
+                 sort_workspace: Optional[int] = None) -> None:
+        self.system = system
+        self.table = table
+        index = IotSecondaryIndex(
+            name=name,
+            key_columns=table.column_indexes(key_columns),
+            tree=BTree(system, name, table.name),
+        )
+        self.indexes = [index]
+        self.index = index
+        #: the scan position: None (nothing scanned) -> pk values ->
+        #: KEY_INFINITY (scan complete)
+        self.current_key = None
+        self.sort_workspace = sort_workspace \
+            or system.config.sort_workspace
+
+    def run(self):
+        """Generator process body: build the secondary index online."""
+        system = self.system
+        table = self.table
+        register_sidefile_operations(system)
+        system.sidefiles[self.index.name] = SideFile(system,
+                                                     self.index.name)
+        table.secondary.append(self.index)
+        table.build = self
+
+        # Range scan of the primary index in key order, batched so update
+        # transactions interleave.  A snapshot of the key range ahead of
+        # the scan is re-taken each batch: rows inserted ahead are seen,
+        # rows inserted behind go to the side-file.
+        store = RunStore(prefix=f"iot:{self.index.name}")
+        system.run_stores[f"iot:{self.index.name}"] = store
+        sorter = RunFormation(store, self.sort_workspace)
+        batch = 16
+        while True:
+            pending = [pk for pk in sorted(table.rows)
+                       if self.current_key is None
+                       or pk > self.current_key]
+            if not pending:
+                self.current_key = KEY_INFINITY
+                break
+            for pk in pending[:batch]:
+                record = table.rows.get(pk)
+                if record is not None:
+                    sorter.push((self.index.key_of(record),
+                                 tuple(IOTable.pk_rid(pk))))
+                self.current_key = pk
+            yield Delay(len(pending[:batch])
+                        * system.config.tree_visit_cost)
+        runs = sorter.finish()
+        system.metrics.incr("iot.scan_complete")
+
+        # Bottom-up, unlogged load (pipelined final merge).
+        merger = final_merger(store, runs, system.config.merge_fanin)
+        loader = BulkLoader(self.index.tree)
+        loaded = 0
+        while merger is not None:
+            key = merger.pop()
+            if key is None:
+                break
+            loader.append(key[0], RID(*key[1]))
+            loaded += 1
+            if loaded % 64 == 0:
+                yield Delay(64 * system.config.bulk_load_key_cost)
+        loader.finish()
+        self.index.tree.force()
+
+        # Drain the side-file, then flip atomically.
+        sidefile = system.sidefiles[self.index.name]
+        ib_txn = system.txns.begin(f"IB-iot-{self.index.name}")
+        position = 0
+        while True:
+            while position < len(sidefile.entries):
+                entry = sidefile.entries[position]
+                position += 1
+                yield from self.index.tree.sf_drain_apply(
+                    ib_txn, entry.operation, entry.key_value, entry.rid)
+                system.metrics.incr("iot.sidefile_drained")
+            if position == len(sidefile.entries):
+                self.index.available = True
+                table.build = None
+                break
+        yield from ib_txn.commit()
+        return self.index
+
+
+def audit_iot_index(table: IOTable, index: IotSecondaryIndex) -> dict:
+    """Verify a secondary index against its IOT (like audit_index)."""
+    from repro.verify.consistency import ConsistencyError
+
+    expected = {(index.key_of(record), IOTable.pk_rid(pk))
+                for pk, record in table.range_scan()}
+    actual = {(entry.key_value, entry.rid)
+              for entry in index.tree.all_entries()}
+    if expected != actual:
+        raise ConsistencyError(
+            f"{index.name}: IOT mismatch -- missing "
+            f"{sorted(expected - actual)[:3]}, spurious "
+            f"{sorted(actual - expected)[:3]}")
+    return {"entries": len(actual),
+            "clustering": index.tree.clustering_factor()}
+
+
+# -- recovery handlers -----------------------------------------------------------
+
+
+def _table(system: "System", name: str) -> Optional[IOTable]:
+    table = system.tables.get(name)
+    return table if isinstance(table, IOTable) else None
+
+
+def _redo_iot_put(system: "System", record: LogRecord):
+    _op, args = record.redo
+    table = _table(system, args["table"])
+    if table is not None:
+        pk = args["pk"]
+        table.rows[pk] = Record(tuple(args["values"]))
+        table.primary.apply_logical("insert", pk, RID(0, 0))
+    return
+    yield  # pragma: no cover - generator shape
+
+
+def _redo_iot_del(system: "System", record: LogRecord):
+    _op, args = record.redo
+    table = _table(system, args["table"])
+    if table is not None:
+        pk = args["pk"]
+        table.rows.pop(pk, None)
+        table.primary.apply_logical("physical_delete", pk, RID(0, 0))
+    return
+    yield  # pragma: no cover
+
+
+def _reject(system, record):  # pragma: no cover
+    raise AssertionError("iot undo payloads are never redone")
+
+
+def _undo_iot_insert(system: "System", txn, record: LogRecord):
+    _op, args = record.undo
+    table = _table(system, args["table"])
+    if table is not None:
+        pk = args["pk"]
+        old = table.rows.pop(pk, None)
+        table.primary.apply_logical("physical_delete", pk, RID(0, 0))
+        table._maintain(txn, pk, old, None,
+                        behind=table._behind_scan(pk))
+    clr_redo = ("iot.del", {"table": args["table"], "pk": args["pk"]})
+    yield Delay(system.config.record_op_cost)
+    return clr_redo, None
+
+
+def _undo_iot_delete(system: "System", txn, record: LogRecord):
+    _op, args = record.undo
+    table = _table(system, args["table"])
+    restored = Record(tuple(args["values"]))
+    if table is not None:
+        pk = args["pk"]
+        table.rows[pk] = restored
+        table.primary.apply_logical("insert", pk, RID(0, 0))
+        table._maintain(txn, pk, None, restored,
+                        behind=table._behind_scan(pk))
+    clr_redo = ("iot.put", {"table": args["table"], "pk": args["pk"],
+                            "values": restored.values})
+    yield Delay(system.config.record_op_cost)
+    return clr_redo, None
+
+
+def _undo_iot_update(system: "System", txn, record: LogRecord):
+    _op, args = record.undo
+    table = _table(system, args["table"])
+    old = Record(tuple(args["old_values"]))
+    new = Record(tuple(args["new_values"]))
+    if table is not None:
+        pk = args["pk"]
+        table.rows[pk] = old
+        table._maintain_update(txn, pk, new, old,
+                               behind=table._behind_scan(pk))
+    clr_redo = ("iot.put", {"table": args["table"], "pk": args["pk"],
+                            "values": old.values})
+    yield Delay(system.config.record_op_cost)
+    return clr_redo, None

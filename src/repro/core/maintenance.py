@@ -1,0 +1,280 @@
+"""Transaction-side index maintenance during online index builds.
+
+This module is the transliteration of the paper's Figure 1 (index updates
+by transactions during forward processing in SF) and Figure 2 (during
+rollback), generalised to also cover NSF and completed indexes:
+
+* a **completed** index (state AVAILABLE) is always visible and is updated
+  directly with normal-processing semantics (next-key locking on physical
+  deletes, etc.);
+* an index being built by **NSF** is visible from descriptor creation
+  onward; transactions insert and delete its keys directly in the tree
+  with the tombstone/duplicate rules of section 2.2.3
+  (``during_build=True``);
+* an index being built by **SF** is visible to an operation iff
+  ``Target-RID < Current-RID`` (the builder's scan position); visible
+  operations append ``<operation, key>`` to the side-file, invisible ones
+  ignore the index completely (Figure 1);
+* on **rollback**, the count of visible indexes recorded in the data-page
+  log record is compared with the current count; for indexes that became
+  visible in between, the undo appends a compensating side-file entry
+  (build still running) or performs a logical tree undo (build finished)
+  -- Figure 2, including the "difference greater than one" scenario of
+  section 3.2.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from repro.sidefile import DELETE, INSERT, SideFile
+from repro.storage.rid import INFINITY_RID, RID
+from repro.wal.records import LogRecord, RecordKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.descriptor import IndexDescriptor
+    from repro.storage.page import Record
+    from repro.storage.table import Table
+    from repro.system import System
+    from repro.txn.transaction import Transaction
+
+NSF_MODE = "nsf"
+SF_MODE = "sf"
+OFFLINE_MODE = "offline"
+
+
+@dataclass
+class OpSnapshot:
+    """One record operation's visibility decision, taken under the latch.
+
+    ``count`` is logged in the data-page log record (section 3.1);
+    ``direct`` lists the tree updates to apply once the latch is dropped;
+    ``sf_routed`` names the indexes whose maintenance went to a side-file
+    (also logged -- rollback needs it to choose between a reverse
+    side-file entry and a logical tree undo; the paper's Figure 2 leaves
+    this bookkeeping implicit in "the record management component has to
+    be aware whether IB is active").  Side-file appends already happened,
+    atomically with the decision.
+    """
+
+    count: int
+    direct: list = field(default_factory=list)
+    sf_routed: list = field(default_factory=list)
+
+
+@dataclass
+class BuildContext:
+    """State of one in-progress build shared with the maintenance hook.
+
+    One context covers all indexes being built in a single data scan
+    (section 6.2 allows several); they share the scan position.
+    """
+
+    mode: str
+    descriptors: list = field(default_factory=list)
+    #: SF's Current-RID: records with RID strictly below it have been
+    #: scanned.  Starts at RID(0, 0) ("nothing scanned"), goes to
+    #: INFINITY_RID when the scan finishes (section 3.2.2).
+    current_rid: RID = RID(0, 0)
+    #: SF's Index_Build flag (section 3.2.1)
+    index_build: bool = True
+
+    def covers(self, descriptor: "IndexDescriptor") -> bool:
+        return descriptor in self.descriptors
+
+
+class IndexMaintenance:
+    """Per-table hook invoked by the record manager (Figure 1 / Figure 2)."""
+
+    def __init__(self, system: "System", table: "Table") -> None:
+        self.system = system
+        self.table = table
+
+    # -- visibility (Figure 1's IF ladder) ---------------------------------
+
+    def _context(self) -> Optional[BuildContext]:
+        return self.system.builds.get(self.table.name)
+
+    def _is_visible(self, descriptor: "IndexDescriptor", rid: RID,
+                    context: Optional[BuildContext]) -> bool:
+        from repro.core.descriptor import IndexState
+        if descriptor.state is IndexState.AVAILABLE:
+            return True
+        if descriptor.state is IndexState.CANCELLED:
+            return False
+        if context is not None and context.covers(descriptor):
+            if context.mode == NSF_MODE:
+                return True  # visible since descriptor creation (§2.2.1)
+            if context.mode == SF_MODE:
+                return rid < context.current_rid  # §3.1
+            return False  # offline: never maintained by transactions
+        # BUILDING descriptor with no live context (builder crashed, not
+        # yet resumed).  NSF indexes stay visible -- their maintenance
+        # needs no builder.  SF indexes are handled by the resumed
+        # context; without one, treat as invisible (the resume hook
+        # reinstalls the context before any transaction runs).
+        return getattr(descriptor, "build_mode", None) == NSF_MODE
+
+    def visible_count(self, txn: "Transaction", rid: RID) -> int:
+        """The count logged with every data-page record (section 3.1)."""
+        context = self._context()
+        return sum(1 for d in self.table.indexes
+                   if self._is_visible(d, rid, context))
+
+    def _visible_descriptors(self, rid: RID):
+        context = self._context()
+        return [d for d in self.table.indexes
+                if self._is_visible(d, rid, context)], context
+
+    # -- forward processing (Figure 1) ------------------------------------------
+    #
+    # The record manager calls ``prepare_*`` while still holding the data
+    # page's X latch: the visibility decision, the logged count, and any
+    # side-file appends happen in one atomic step -- so IB's drain-
+    # completion test ("position == end of side-file", section 3.2.5)
+    # can never race with an append whose visibility decision predated
+    # the flip.  Direct tree updates (which latch index pages) are
+    # returned as work items and applied after the data latch is dropped,
+    # matching the paper's latch-ordering rule (section 1.2).
+
+    def prepare_insert(self, txn: "Transaction", rid: RID,
+                       record: "Record") -> "OpSnapshot":
+        return self._prepare(txn, rid, [(INSERT, record)])
+
+    def prepare_delete(self, txn: "Transaction", rid: RID,
+                       record: "Record") -> "OpSnapshot":
+        return self._prepare(txn, rid, [(DELETE, record)])
+
+    def prepare_update(self, txn: "Transaction", rid: RID,
+                       old_record: "Record",
+                       new_record: "Record") -> "OpSnapshot":
+        return self._prepare(txn, rid, [(DELETE, old_record),
+                                        (INSERT, new_record)],
+                             is_update=True)
+
+    def _prepare(self, txn: "Transaction", rid: RID,
+                 changes: list, is_update: bool = False) -> "OpSnapshot":
+        from repro.core.descriptor import IndexState
+        visible, context = self._visible_descriptors(rid)
+        snapshot = OpSnapshot(count=len(visible))
+        for descriptor in visible:
+            keyed = [(op, descriptor.key_of(record))
+                     for op, record in changes]
+            if is_update and keyed[0][1] == keyed[1][1]:
+                continue  # key columns unchanged; index untouched
+            in_sf_build = (descriptor.state is not IndexState.AVAILABLE
+                           and context is not None
+                           and context.covers(descriptor)
+                           and context.mode == SF_MODE)
+            if in_sf_build:
+                snapshot.sf_routed.append(descriptor.name)
+            for operation, key in keyed:
+                if in_sf_build:
+                    sidefile = self.system.sidefiles[descriptor.name]
+                    sidefile.append_sync(txn, operation, key, rid)
+                else:
+                    snapshot.direct.append(
+                        (descriptor, operation, key, rid))
+        return snapshot
+
+    def apply_direct(self, txn: "Transaction", snapshot: "OpSnapshot"):
+        """Generator: perform the deferred direct tree updates."""
+        from repro.core.descriptor import IndexState
+        for descriptor, operation, key, rid in snapshot.direct:
+            during_build = descriptor.state is not IndexState.AVAILABLE
+            if operation == INSERT:
+                yield from descriptor.tree.txn_insert_key(
+                    txn, key, rid, during_build=during_build)
+            else:
+                yield from descriptor.tree.txn_delete_key(
+                    txn, key, rid, during_build=during_build)
+
+    # -- rollback (Figure 2) -------------------------------------------------------
+
+    def on_undo(self, txn: "Transaction", log_record: LogRecord,
+                action: str, rid: RID,
+                old_record: Optional["Record"],
+                new_record: Optional["Record"]):
+        """Compensate index effects for indexes that became visible
+        between forward processing and rollback.
+
+        ``old_record``/``new_record`` are the record states before/after
+        the undo.  Indexes visible at forward-processing time logged
+        their own key operations and are handled by the normal undo
+        chain; only the *newly visible* suffix of the index list needs
+        action here (visibility only grows, footnote 6).
+        """
+        logged_count = log_record.info.get("visible_count", 0)
+        sf_routed = set(log_record.info.get("sf_routed", ()))
+        context = self._context()
+        current_visible = [d for d in self.table.indexes
+                           if self._is_visible(d, rid, context)]
+        for position, descriptor in enumerate(current_visible):
+            if descriptor.name in sf_routed:
+                # Forward processing covered this index via the side-file
+                # (redo-only appends); the undo chain has nothing for it,
+                # so compensate here: a reverse side-file entry while the
+                # build runs, a logical tree undo once it completed.
+                pass
+            elif position < logged_count:
+                # Covered directly at forward time: the transaction's own
+                # key-operation log records handle the undo.
+                continue
+            # Newly visible (Figure 2's count comparison) or side-file
+            # routed: compensate now.
+            yield from self._compensate(txn, descriptor, context, action,
+                                        rid, old_record, new_record)
+            self.system.metrics.incr("maintenance.figure2_compensations")
+
+    def _compensate(self, txn: "Transaction",
+                    descriptor: "IndexDescriptor",
+                    context: Optional[BuildContext], action: str,
+                    rid: RID, old_record, new_record):
+        """One index's compensation: side-file entry while the build is
+        incomplete, logical tree undo once it finished (Figure 2)."""
+        changes: list[tuple[str, tuple]] = []
+        if action == "insert":          # undone insert: key must leave
+            changes.append((DELETE, descriptor.key_of(old_record)))
+        elif action == "delete":        # undone delete: key must return
+            changes.append((INSERT, descriptor.key_of(new_record)))
+        else:                           # undone update
+            before_key = descriptor.key_of(old_record)
+            after_key = descriptor.key_of(new_record)
+            if before_key != after_key:
+                changes.append((DELETE, before_key))
+                changes.append((INSERT, after_key))
+        from repro.core.descriptor import IndexState
+        in_sf_build = (descriptor.state is not IndexState.AVAILABLE
+                       and context is not None
+                       and context.covers(descriptor)
+                       and context.mode == SF_MODE)
+        for operation, key in changes:
+            if in_sf_build:
+                sidefile = self.system.sidefiles[descriptor.name]
+                sidefile.append_during_undo(txn, operation, key, rid)
+            else:
+                # Completed build: logical undo by traversing the tree.
+                tree = descriptor.tree
+                tree_action = ("pseudo_delete" if operation == DELETE
+                               else "insert")
+                tree.apply_logical(tree_action, key, rid)
+                self.system.log.append(
+                    txn.txn_id, RecordKind.COMPENSATION,
+                    redo=("index.apply", {"index": descriptor.name,
+                                          "action": tree_action,
+                                          "key_value": key,
+                                          "rid": tuple(rid)}),
+                    info={"index": descriptor.name,
+                          "reason": "figure2-logical-undo"},
+                )
+                self.system.metrics.incr("maintenance.logical_tree_undos")
+        return
+        yield  # pragma: no cover - generator shape
+
+
+def install_maintenance(system: "System", table: "Table") -> IndexMaintenance:
+    """Ensure the table's maintenance hook is the real one."""
+    if not isinstance(table.maintenance, IndexMaintenance):
+        table.maintenance = IndexMaintenance(system, table)
+    return table.maintenance

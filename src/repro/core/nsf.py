@@ -1,0 +1,247 @@
+"""Algorithm NSF: index build without a side-file (section 2).
+
+Timeline (section 2.2):
+
+1. **Descriptor creation under a short quiesce** -- IB takes a share lock
+   on the table, which waits out every active updater's IX lock and holds
+   off new updates just long enough to create the descriptor; from then on
+   transactions insert and delete keys *directly* in the new index
+   (section 2.2.1).
+2. **Scan and pipelined restartable sort** (sections 2.2.2, 5).
+3. **Key insertion** through the multi-key index-manager interface with a
+   remembered root-to-leaf path and specialized splits; IB writes
+   undo-redo log records and periodically commits and checkpoints the
+   highest inserted key (section 2.2.3).
+4. The index becomes available for reads; pseudo-deleted-key cleanup may
+   be scheduled (sections 2.2.4, handled by :mod:`repro.core.cleanup`).
+
+Duplicate-key and delete-key races are resolved by the tree's rejection /
+tombstone machinery (:mod:`repro.btree.tree`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.btree.tree import IBCursor
+from repro.core.base import BuilderBase, BuildOptions, IndexSpec
+from repro.core.descriptor import IndexState
+from repro.core.maintenance import BuildContext, NSF_MODE, install_maintenance
+from repro.sort import RestartableMerger, RunFormation
+from repro.storage.rid import RID
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+
+class NSFIndexBuilder(BuilderBase):
+    """No-Side-File online index builder."""
+
+    mode = NSF_MODE
+
+    def __init__(self, system, table, specs, options=None):
+        super().__init__(system, table, specs, options)
+        self._resume_state: Optional[dict] = None
+
+    # -- main process ------------------------------------------------------
+
+    def run(self):
+        """Generator process body: build all requested indexes online."""
+        self._mark("start")
+        if self._resume_state is None:
+            yield from self._descriptor_phase()
+            self._make_sorters()
+            scan_start, done_indexes = 0, []
+            mergers: dict[str, RestartableMerger] = {}
+            phase = "scan"
+        else:
+            phase, scan_start, done_indexes, mergers = \
+                yield from self._prepare_resume()
+
+        if phase == "scan":
+            yield from self._scan_phase(scan_start)
+            runs_by_index = self._finish_sort()
+            self._mark("scan_done")
+            # Transition checkpoint: a crash from here resumes by
+            # rebuilding the final merge from the forced, closed runs.
+            self._write_utility_checkpoint({
+                "phase": "insert-start", "done_indexes": []})
+            mergers = {
+                d.name: self._final_merger(d, runs_by_index[d.name])
+                for d in self.descriptors}
+
+        for descriptor in self.descriptors:
+            if descriptor.name in done_indexes:
+                continue
+            merger = mergers.get(descriptor.name)
+            yield from self._insert_phase(descriptor, merger, done_indexes)
+            done_indexes.append(descriptor.name)
+            self._write_utility_checkpoint({
+                "phase": "insert-start",
+                "done_indexes": list(done_indexes)})
+
+        self._mark_available()
+        self._remove_context()
+        self._write_utility_checkpoint({"phase": "done"})
+        self._mark("done")
+        return self.descriptors
+
+    # -- phase 1: descriptor under short quiesce ---------------------------------
+
+    def _descriptor_phase(self):
+        quiesce_txn = self.system.txns.begin("IB-descriptor")
+        lock_requested = self.system.sim.now
+        yield from quiesce_txn.lock(self.table.table_lock_name, "S")
+        lock_granted = self.system.sim.now
+        self.system.metrics.observe("build.quiesce_wait",
+                                    lock_granted - lock_requested)
+        self._create_descriptors()
+        self._install_context()
+        yield from quiesce_txn.commit()  # ends the quiesce
+        self.system.metrics.observe("build.quiesce_hold",
+                                    self.system.sim.now - lock_granted)
+        # Initial checkpoint so a crash before the first periodic scan
+        # checkpoint can still resume (from page zero).
+        self._write_utility_checkpoint({
+            "phase": "scan", "next_page": 0, "sort": {}})
+        self._mark("descriptor_done")
+
+    # -- phase 2: scan + sort -----------------------------------------------------
+
+    def _scan_phase(self, start_page: int):
+        if self.options.parallel_readers > 1:
+            yield from self._scan_and_sort_parallel(start_page=start_page)
+        else:
+            yield from self._scan_and_sort(start_page=start_page)
+
+    # -- phase 3: key insertion ------------------------------------------------------
+
+    def _insert_phase(self, descriptor, merger: Optional[RestartableMerger],
+                      done_indexes: list):
+        tree = descriptor.tree
+        ib_txn = self.system.txns.begin(f"IB-insert-{descriptor.name}")
+        cursor = IBCursor()
+        since_commit = 0
+        since_checkpoint = 0
+        highest = None
+        commit_every = self.options.commit_every_keys
+        checkpoint_every = self.options.checkpoint_every_keys
+        while merger is not None:
+            batch = merger.pop_many(self.ib_batch_keys)
+            if not batch:
+                break
+            yield from tree.ib_insert_batch(ib_txn, batch, cursor)
+            highest = batch[-1]
+            since_commit += len(batch)
+            since_checkpoint += len(batch)
+            if commit_every and since_commit >= commit_every:
+                yield from ib_txn.commit()
+                # Footnote 3 of section 2.2.1: the committed frontier can
+                # serve reads of lower key ranges (opt-in, see
+                # repro.query.set_gradual_availability).
+                descriptor.read_watermark = highest
+                ib_txn = self.system.txns.begin(
+                    f"IB-insert-{descriptor.name}")
+                since_commit = 0
+                self.system.metrics.incr("build.ib_commits")
+            if checkpoint_every and since_checkpoint >= checkpoint_every:
+                yield from ib_txn.commit()
+                manifest = merger.checkpoint()
+                self._write_utility_checkpoint({
+                    "phase": "insert",
+                    "index": descriptor.name,
+                    "merge": manifest,
+                    "highest_key": highest,
+                    "done_indexes": list(done_indexes),
+                })
+                ib_txn = self.system.txns.begin(
+                    f"IB-insert-{descriptor.name}")
+                since_checkpoint = 0
+                self.system.metrics.incr("build.insert_checkpoints")
+        yield from ib_txn.commit()
+        self._mark(f"insert_done:{descriptor.name}")
+
+    # -- restart (sections 2.2.3 and 2.3.2) ------------------------------------------
+
+    @classmethod
+    def resume(cls, system: "System", utility_state: dict
+               ) -> "NSFIndexBuilder":
+        """Rebuild a builder from the latest utility checkpoint.
+
+        The system must already have gone through restart recovery (which
+        re-attached descriptors and rolled back IB's uncommitted batch).
+        """
+        table = system.tables[utility_state["table"]]
+        specs = [IndexSpec(name, tuple(cols), unique)
+                 for name, cols, unique in utility_state["specs"]]
+        builder = cls(system, table, specs)
+        builder.descriptors = [system.indexes[name]
+                               for name in utility_state["indexes"]]
+        builder._install_context()
+        install_maintenance(system, table)
+        builder._resume_state = utility_state
+        return builder
+
+    def _prepare_resume(self):
+        """Re-establish phase state from the checkpoint; returns
+        ``(phase, scan_start, done_indexes, mergers)``."""
+        state = self._resume_state
+        phase = state.get("phase", "scan")
+        done_indexes = list(state.get("done_indexes", []))
+        mergers: dict[str, RestartableMerger] = {}
+        if phase == "scan":
+            scan_start = state.get("next_page", 0)
+            manifests = state.get("sort", {})
+            for descriptor in self.descriptors:
+                store = self._store_for(descriptor)
+                manifest = manifests.get(descriptor.name)
+                if manifest is not None:
+                    sorter, _pos = RunFormation.restore(
+                        store, manifest, self.sort_workspace)
+                else:
+                    sorter = RunFormation(store, self.sort_workspace)
+                self._sorters[descriptor.name] = sorter
+            self.system.metrics.incr("build.resumes.scan")
+            return phase, scan_start, done_indexes, mergers
+        if phase in ("insert", "insert-start"):
+            if phase == "insert":
+                name = state["index"]
+                store = self._store_for(self.system.indexes[name])
+                mergers[name] = RestartableMerger.restore(store,
+                                                          state["merge"])
+            else:
+                name = None
+            # Indexes with no merge checkpoint restart their final merge
+            # from the forced, closed runs; already-inserted keys are
+            # duplicate-rejected (section 2.2.3: "no integrity problem in
+            # IB trying to insert keys which were already inserted prior
+            # to the failure").
+            for descriptor in self.descriptors:
+                if descriptor.name in done_indexes \
+                        or descriptor.name == name:
+                    continue
+                dstore = self._store_for(descriptor)
+                runs = sorted((run for run in dstore.runs.values()
+                               if run.closed),
+                              key=lambda run: run.name)
+                mergers[descriptor.name] = self._final_merger(
+                    descriptor, runs)
+            self.system.metrics.incr("build.resumes.insert")
+            return "insert", 0, done_indexes, mergers
+        # phase == "done": everything finished before the crash
+        return phase, 0, [d.name for d in self.descriptors], mergers
+        yield  # pragma: no cover - generator shape
+
+
+def nsf_pre_undo(system: "System", utility_state: dict) -> None:
+    """Reinstall the NSF build context before recovery's undo pass."""
+    if utility_state.get("builder") != NSF_MODE:
+        return
+    table = system.tables[utility_state["table"]]
+    descriptors = [system.indexes[name]
+                   for name in utility_state["indexes"]
+                   if name in system.indexes]
+    context = BuildContext(mode=NSF_MODE, descriptors=descriptors)
+    if utility_state.get("phase") == "done":
+        return
+    system.builds[table.name] = context

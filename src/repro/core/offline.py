@@ -1,0 +1,70 @@
+"""The offline baseline: build with updates fully quiesced.
+
+This is the behaviour the paper sets out to eliminate ("current DBMSs do
+not allow updates to be performed on a table while an index is being
+built").  IB takes an X lock on the table for the *entire* build, so every
+updating transaction blocks until the index is finished -- the
+availability cost experiments E3 and E13 measure against.
+
+Being alone, IB skips all the online machinery: no side-file, no
+tombstones, no logging of key inserts (a failed build simply restarts),
+and a perfectly clustered bottom-up load.
+"""
+
+from __future__ import annotations
+
+from repro.btree.loader import BulkLoader
+from repro.core.base import BuilderBase
+from repro.sim.kernel import Delay
+
+
+class OfflineIndexBuilder(BuilderBase):
+    """Quiesced baseline builder."""
+
+    mode = "offline"
+
+    def run(self):
+        """Generator process body: build all requested indexes."""
+        self._mark("start")
+        txn = self.system.txns.begin("IB-offline")
+        lock_requested = self.system.sim.now
+        yield from txn.lock(self.table.table_lock_name, "X")
+        self.system.metrics.observe(
+            "build.quiesce_wait", self.system.sim.now - lock_requested)
+        self._mark("quiesced")
+        try:
+            self._create_descriptors()
+            self._make_sorters()
+            if self.options.parallel_readers > 1:
+                yield from self._scan_and_sort_parallel()
+            else:
+                yield from self._scan_and_sort()
+            runs_by_index = self._finish_sort()
+            self._mark("scan_done")
+            for descriptor in self.descriptors:
+                merger = self._final_merger(
+                    descriptor, runs_by_index[descriptor.name])
+                loader = BulkLoader(
+                    descriptor.tree,
+                    fill_free_fraction=self.options.fill_free_fraction)
+                loaded = 0
+                while merger is not None:
+                    key = merger.pop()
+                    if key is None:
+                        break
+                    loader.append(key[0], key[1])
+                    loaded += 1
+                    if loaded % 64 == 0:
+                        yield Delay(
+                            64 * self.system.config.bulk_load_key_cost)
+                loader.finish()
+                descriptor.tree.force()
+            self._mark_available()
+            self._mark("built")
+        finally:
+            yield from txn.commit()  # releases the X lock
+        self.system.metrics.observe(
+            "build.quiesce_hold", self.system.sim.now - self.timings["quiesced"])
+        self._write_utility_checkpoint({"phase": "done"})
+        self._mark("done")
+        return self.descriptors

@@ -1,0 +1,366 @@
+"""Algorithm SF: bottom-up index build with a side-file (section 3).
+
+Timeline (section 3.2):
+
+1. **Descriptor creation without any quiesce** -- the descriptor is
+   appended to the table's index list while updaters run; IB sets the
+   ``Index_Build`` flag (section 3.2.1).
+2. **Scan and pipelined restartable sort**; IB maintains ``Current-RID``
+   as it finishes each page (under the page latch, which is why
+   Current-RID and Target-RID can never be equal, section 3.1).
+   Transactions touching records *behind* the scan append
+   ``<operation, key>`` entries to the side-file; ahead of the scan they
+   ignore the new index entirely (Figure 1).  When the scan finishes,
+   Current-RID becomes infinity so later file extensions also reach the
+   side-file (section 3.2.2).
+3. **Bottom-up bulk load**, unlogged, pipelined from the final merge pass;
+   checkpoints force the tree's dirty pages and record the merge counters
+   plus the highest key (section 3.2.4).
+4. **Side-file drain**: IB applies the entries in order, writing undo-redo
+   log records and checkpointing its position; transactions may still be
+   appending.  After the last entry, IB atomically resets the flag and the
+   index becomes directly maintained (section 3.2.5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.btree.loader import BulkLoader
+from repro.core.base import BuilderBase, IndexSpec
+from repro.core.descriptor import IndexState
+from repro.core.maintenance import BuildContext, SF_MODE, install_maintenance
+from repro.sidefile import SideFile, register_sidefile_operations
+from repro.sim.kernel import Delay
+from repro.sort import RestartableMerger, RunFormation
+from repro.storage.rid import INFINITY_RID, RID
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+
+class SFIndexBuilder(BuilderBase):
+    """Side-File online index builder."""
+
+    mode = SF_MODE
+
+    def __init__(self, system, table, specs, options=None):
+        super().__init__(system, table, specs, options)
+        self._resume_state: Optional[dict] = None
+
+    # -- main process ------------------------------------------------------
+
+    def run(self):
+        """Generator process body: build all requested indexes online."""
+        self._mark("start")
+        if self._resume_state is None:
+            self._descriptor_phase()
+            self._make_sorters()
+            phase = "scan"
+            scan_start = 0
+            loaded: list[str] = []
+            drained: list[str] = []
+            mergers: dict[str, RestartableMerger] = {}
+            drain_positions: dict[str, int] = {}
+        else:
+            (phase, scan_start, loaded, drained, mergers,
+             drain_positions) = self._prepare_resume()
+
+        if phase == "scan":
+            yield from self._scan_and_sort(start_page=scan_start)
+            # Section 3.2.2: Current-RID := infinity when the scan is done,
+            # so subsequent file extensions still reach the side-file.
+            self.context.current_rid = INFINITY_RID
+            runs_by_index = self._finish_sort()
+            self._mark("scan_done")
+            # Transition checkpoint: a crash from here resumes by
+            # rebuilding the merge from the forced, closed runs.
+            self._write_utility_checkpoint({
+                "phase": "load-start", "loaded_indexes": []})
+            mergers = {
+                d.name: self._final_merger(d, runs_by_index[d.name])
+                for d in self.descriptors}
+            phase = "load"
+
+        if phase in ("load", "load-start"):
+            for descriptor in self.descriptors:
+                if descriptor.name in loaded:
+                    continue
+                yield from self._load_phase(
+                    descriptor, mergers.get(descriptor.name), loaded)
+                loaded.append(descriptor.name)
+                self._write_utility_checkpoint({
+                    "phase": "load-start",
+                    "loaded_indexes": list(loaded)})
+            self._mark("load_done")
+
+        for descriptor in self.descriptors:
+            if descriptor.name in drained:
+                continue
+            start = drain_positions.get(descriptor.name, 0)
+            self.system.sidefiles[descriptor.name].force()
+            self._write_utility_checkpoint({
+                "phase": "drain", "index": descriptor.name,
+                "position": start,
+                "loaded_indexes": [d.name for d in self.descriptors],
+                "drained_indexes": list(drained)})
+            yield from self._drain_phase(descriptor, start, loaded, drained)
+            drained.append(descriptor.name)
+
+        self._remove_context()
+        self._write_utility_checkpoint({"phase": "done"})
+        self._mark("done")
+        return self.descriptors
+
+    # -- phase 1: descriptor without quiesce --------------------------------------
+
+    def _descriptor_phase(self) -> None:
+        """No lock, no waiting: SF's headline availability property
+        (section 3.2.1: "without quiescing (update) transactions")."""
+        self._create_descriptors()
+        register_sidefile_operations(self.system)
+        for descriptor in self.descriptors:
+            sidefile = SideFile(self.system, descriptor.name)
+            self.system.sidefiles[descriptor.name] = sidefile
+        self._install_context(current_rid=RID(0, 0), index_build=True)
+        self.system.metrics.observe("build.quiesce_wait", 0.0)
+        self.system.metrics.observe("build.quiesce_hold", 0.0)
+        # Initial checkpoint: a crash before the first periodic scan
+        # checkpoint resumes from page zero instead of orphaning the
+        # descriptor.
+        self._write_utility_checkpoint({
+            "phase": "scan", "next_page": 0, "sort": {}})
+        self._mark("descriptor_done")
+
+    # -- phase 2 hooks: scan limit and Current-RID maintenance ---------------------------
+
+    def _scan_limit(self, noted_last_page: int) -> int:
+        """SF chases the end of file: records inserted ahead of
+        Current-RID made no side-file entries and must be scanned."""
+        return self.table.page_count
+
+    def _after_page_scanned(self, page) -> None:
+        """Advance Current-RID past this page, still under its latch.
+
+        Page granularity keeps Target-RID != Current-RID guaranteed by the
+        latch protocol (section 3.1)."""
+        if self.context is not None:
+            self.context.current_rid = RID(page.page_id.page_no + 1, 0)
+
+    # -- phase 3: bottom-up bulk load ------------------------------------------------------
+
+    def _load_phase(self, descriptor, merger: Optional[RestartableMerger],
+                    loaded: list, loader: Optional[BulkLoader] = None):
+        tree = descriptor.tree
+        if loader is None:
+            # resume() degrades to a fresh loader on an empty tree, and
+            # continues after the checkpointed right-most path otherwise
+            # (section 3.2.4).
+            loader = BulkLoader.resume(
+                tree, fill_free_fraction=self.options.fill_free_fraction)
+        checkpoint_every = self.options.checkpoint_every_keys
+        since_checkpoint = 0
+        since_yield = 0
+        while merger is not None:
+            key = merger.pop()
+            if key is None:
+                break
+            loader.append(key[0], RID(*key[1]))
+            since_checkpoint += 1
+            since_yield += 1
+            if since_yield >= 64:
+                yield Delay(since_yield
+                            * self.system.config.bulk_load_key_cost)
+                since_yield = 0
+            if checkpoint_every and since_checkpoint >= checkpoint_every:
+                # Atomic trio: force tree, checkpoint merge counters,
+                # write the WAL checkpoint (section 3.2.4).
+                manifest = merger.checkpoint()
+                self._write_utility_checkpoint({
+                    "phase": "load",
+                    "index": descriptor.name,
+                    "merge": manifest,
+                    "highest_key": loader.highest_key,
+                    "loaded_indexes": list(loaded),
+                })
+                since_checkpoint = 0
+                self.system.metrics.incr("build.load_checkpoints")
+        if since_yield:
+            yield Delay(since_yield * self.system.config.bulk_load_key_cost)
+        loader.finish()
+        tree.force()
+        self._mark(f"load_done:{descriptor.name}")
+
+    # -- phase 4: side-file drain -----------------------------------------------------------
+
+    def _drain_phase(self, descriptor, start_position: int,
+                     loaded: list, drained: list):
+        tree = descriptor.tree
+        sidefile = self.system.sidefiles[descriptor.name]
+        ib_txn = self.system.txns.begin(f"IB-drain-{descriptor.name}")
+        position = start_position
+        since_checkpoint = 0
+        checkpoint_every = self.options.checkpoint_every_keys
+
+        if self.options.sort_sidefile and position < len(sidefile.entries):
+            position = yield from self._drain_sorted_chunk(
+                descriptor, ib_txn, sidefile, position)
+
+        while True:
+            while position < len(sidefile.entries):
+                entry = sidefile.entries[position]
+                position += 1
+                yield from tree.sf_drain_apply(
+                    ib_txn, entry.operation, entry.key_value, entry.rid)
+                self.system.metrics.incr("build.sidefile_drained")
+                since_checkpoint += 1
+                if checkpoint_every and since_checkpoint >= checkpoint_every:
+                    yield from ib_txn.commit()
+                    sidefile.force()
+                    self._write_utility_checkpoint({
+                        "phase": "drain",
+                        "index": descriptor.name,
+                        "position": position,
+                        "loaded_indexes": list(loaded),
+                        "drained_indexes": list(drained),
+                    })
+                    ib_txn = self.system.txns.begin(
+                        f"IB-drain-{descriptor.name}")
+                    since_checkpoint = 0
+                    self.system.metrics.incr("build.drain_checkpoints")
+            # Atomic completion test: no yields between the length check
+            # and the state flip, so a racing append either landed before
+            # (and was processed) or lands after the flip and goes
+            # directly to the index (section 3.2.5).
+            if position == len(sidefile.entries):
+                descriptor.state = IndexState.AVAILABLE
+                if self.context is not None \
+                        and descriptor in self.context.descriptors:
+                    self.context.descriptors.remove(descriptor)
+                break
+        tree.verify_unique()
+        yield from ib_txn.commit()
+        self.system.metrics.observe(
+            f"build.sidefile_length.{descriptor.name}", position)
+        self._mark(f"drain_done:{descriptor.name}")
+
+    def _drain_sorted_chunk(self, descriptor, ib_txn, sidefile,
+                            position: int):
+        """Section 3.2.5 optimization: sort the current side-file contents
+        (stable with respect to identical keys) before applying, so the
+        tree is updated in key order; the remainder arriving during the
+        sorted pass is processed sequentially by the caller."""
+        end = len(sidefile.entries)
+        chunk = list(enumerate(sidefile.entries[position:end],
+                               start=position))
+        chunk.sort(key=lambda item: (item[1].key_value, item[1].rid,
+                                     item[0]))
+        for _original_pos, entry in chunk:
+            yield from descriptor.tree.sf_drain_apply(
+                ib_txn, entry.operation, entry.key_value, entry.rid)
+            self.system.metrics.incr("build.sidefile_drained")
+            self.system.metrics.incr("build.sidefile_drained_sorted")
+        return end
+
+    # -- restart (section 3.2.4 / 3.2.5) ------------------------------------------------------
+
+    @classmethod
+    def resume(cls, system: "System", utility_state: dict
+               ) -> "SFIndexBuilder":
+        table = system.tables[utility_state["table"]]
+        specs = [IndexSpec(name, tuple(cols), unique)
+                 for name, cols, unique in utility_state["specs"]]
+        builder = cls(system, table, specs)
+        builder.descriptors = [system.indexes[name]
+                               for name in utility_state["indexes"]]
+        register_sidefile_operations(system)
+        install_maintenance(system, table)
+        context = system.builds.get(table.name)
+        if context is None:
+            context = sf_pre_undo(system, utility_state) \
+                or BuildContext(mode=SF_MODE,
+                                descriptors=list(builder.descriptors))
+            system.builds[table.name] = context
+        builder.context = context
+        builder._resume_state = utility_state
+        return builder
+
+    def _prepare_resume(self):
+        state = self._resume_state
+        phase = state.get("phase", "scan")
+        loaded = list(state.get("loaded_indexes", []))
+        drained = list(state.get("drained_indexes", []))
+        mergers: dict[str, RestartableMerger] = {}
+        drain_positions: dict[str, int] = {}
+        if phase == "scan":
+            scan_start = state.get("next_page", 0)
+            manifests = state.get("sort", {})
+            for descriptor in self.descriptors:
+                store = self._store_for(descriptor)
+                manifest = manifests.get(descriptor.name)
+                if manifest is not None:
+                    sorter, _pos = RunFormation.restore(
+                        store, manifest, self.sort_workspace)
+                else:
+                    sorter = RunFormation(store, self.sort_workspace)
+                self._sorters[descriptor.name] = sorter
+            self.system.metrics.incr("build.resumes.scan")
+            return phase, scan_start, loaded, drained, mergers, \
+                drain_positions
+        self.context.current_rid = INFINITY_RID
+        if phase in ("load", "load-start"):
+            if phase == "load":
+                name = state["index"]
+                store = self._store_for(self.system.indexes[name])
+                mergers[name] = RestartableMerger.restore(store,
+                                                          state["merge"])
+            else:
+                name = None
+            for descriptor in self.descriptors:
+                if descriptor.name in loaded or descriptor.name == name:
+                    continue
+                dstore = self._store_for(descriptor)
+                runs = sorted((run for run in dstore.runs.values()
+                               if run.closed),
+                              key=lambda run: run.name)
+                mergers[descriptor.name] = self._final_merger(
+                    descriptor, runs)
+            self.system.metrics.incr("build.resumes.load")
+            return "load", 0, loaded, drained, mergers, drain_positions
+        if phase == "drain":
+            loaded = [d.name for d in self.descriptors]
+            drain_positions[state["index"]] = state.get("position", 0)
+            self.system.metrics.incr("build.resumes.drain")
+            return "drain", 0, loaded, drained, mergers, drain_positions
+        # phase == "done"
+        return "done", 0, [d.name for d in self.descriptors], \
+            [d.name for d in self.descriptors], mergers, drain_positions
+
+
+def sf_pre_undo(system: "System", utility_state: dict
+                ) -> Optional[BuildContext]:
+    """Reinstall the SF build context before recovery's undo pass.
+
+    Figure 2's count comparison needs the checkpointed Current-RID and
+    Index_Build flag to classify visibility during loser rollback.
+    """
+    if utility_state.get("builder") != SF_MODE:
+        return None
+    if utility_state.get("phase") == "done":
+        return None
+    table = system.tables[utility_state["table"]]
+    descriptors = [system.indexes[name]
+                   for name in utility_state["indexes"]
+                   if name in system.indexes]
+    raw_rid = utility_state.get("current_rid")
+    current_rid = RID(*raw_rid) if raw_rid is not None else RID(0, 0)
+    if utility_state.get("phase") in ("load", "drain"):
+        current_rid = INFINITY_RID
+    context = BuildContext(
+        mode=SF_MODE,
+        descriptors=descriptors,
+        current_rid=current_rid,
+        index_build=bool(utility_state.get("index_build", True)),
+    )
+    system.builds[table.name] = context
+    return context

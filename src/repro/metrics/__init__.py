@@ -1,0 +1,5 @@
+"""Metrics collection for the simulated DBMS."""
+
+from repro.metrics.registry import MetricsRegistry, SeriesStat
+
+__all__ = ["MetricsRegistry", "SeriesStat"]

@@ -1,0 +1,78 @@
+"""Counter and statistic registry.
+
+Every subsystem (buffer pool, WAL, latches, B+-tree, builders) reports into
+one :class:`MetricsRegistry` owned by the enclosing :class:`repro.system.System`.
+The registry is intentionally simple: named monotonic counters plus named
+value-series summaries (count / sum / min / max).  Benchmarks read a
+snapshot before and after a run and print deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SeriesStat:
+    """Summary of an observed value series (no raw samples retained)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class MetricsRegistry:
+    """Named counters and series statistics for one simulated system."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    series: dict[str, SeriesStat] = field(default_factory=dict)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increase counter ``name`` by ``amount`` (creating it at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of the value series ``name``."""
+        stat = self.series.get(name)
+        if stat is None:
+            stat = self.series[name] = SeriesStat()
+        stat.observe(value)
+
+    def stat(self, name: str) -> SeriesStat:
+        """Summary for series ``name`` (empty summary if never observed)."""
+        return self.series.get(name, SeriesStat())
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of all counters, e.g. for before/after deltas."""
+        return dict(self.counters)
+
+    def delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Counter increases since ``before`` (a prior :meth:`snapshot`)."""
+        result = {}
+        for name, value in self.counters.items():
+            change = value - before.get(name, 0)
+            if change:
+                result[name] = change
+        return result
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.series.clear()

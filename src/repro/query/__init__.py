@@ -1,0 +1,17 @@
+"""Read access paths over tables and (finished) indexes."""
+
+from repro.query.access import (
+    IndexNotAvailableError,
+    index_lookup,
+    index_range_scan,
+    set_gradual_availability,
+    table_scan,
+)
+
+__all__ = [
+    "IndexNotAvailableError",
+    "index_lookup",
+    "index_range_scan",
+    "set_gradual_availability",
+    "table_scan",
+]

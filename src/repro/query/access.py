@@ -1,0 +1,203 @@
+"""Read access paths: table scans, index lookups, index range scans.
+
+The paper's availability argument is about *readers*: an index under
+construction "is still not available to the transactions to use it as an
+access path for retrievals.  Such usage has to be delayed until the
+entire index is built" (section 2.2.1).  This module provides the access
+paths that become legal at that point, with the locking the paper
+assumes:
+
+* data-only locking (section 6.2): the lock protecting a key is the lock
+  on the record it came from, which is why IB "can make available the new
+  index for reads by transactions without the danger of exposing those
+  transactions performing index-only read accesses to uncommitted keys";
+* next-key locking on the first key past a range, for serializable range
+  scans (phantom protection, [Moha90a]);
+* pseudo-deleted keys are invisible to readers but a reader still locks
+  them when they bound a range (their deletion may be uncommitted).
+
+Footnote 3 of section 2.2.1 is also implemented as an opt-in: "if we are
+ambitious, then we could make the index gradually available for a range
+of key values starting from the smallest possible key value ... as the
+index is being continuously modified by IB to include higher and higher
+key values" -- see :func:`set_gradual_availability` and the
+``read_watermark`` checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, TYPE_CHECKING
+
+from repro.core.descriptor import IndexDescriptor, IndexState
+from repro.errors import ReproError
+from repro.sim.kernel import Acquire, Delay
+from repro.sim.latch import SHARE
+from repro.storage.rid import RID
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.table import Table
+    from repro.system import System
+    from repro.txn.transaction import Transaction
+
+
+class IndexNotAvailableError(ReproError):
+    """The index is still being built and cannot serve this read."""
+
+
+def set_gradual_availability(descriptor: IndexDescriptor,
+                             enabled: bool = True) -> None:
+    """Enable footnote 3: reads below IB's high-water key during an NSF
+    build.  The NSF builder maintains ``descriptor.read_watermark`` (the
+    highest key whose insertion has been committed)."""
+    descriptor.gradual_reads = enabled
+
+
+def _check_readable(descriptor: IndexDescriptor, high_key) -> None:
+    if descriptor.state is IndexState.AVAILABLE:
+        return
+    if getattr(descriptor, "gradual_reads", False):
+        watermark = getattr(descriptor, "read_watermark", None)
+        if watermark is not None and high_key is not None \
+                and high_key <= watermark[0]:
+            return  # range lies entirely below IB's committed frontier
+        raise IndexNotAvailableError(
+            f"index {descriptor.name} is built only up to key "
+            f"{watermark[0] if watermark else None!r}; "
+            f"requested up to {high_key!r}")
+    raise IndexNotAvailableError(
+        f"index {descriptor.name} is still being built "
+        f"({descriptor.state.value})")
+
+
+def index_lookup(txn: "Transaction", descriptor: IndexDescriptor,
+                 key_value):
+    """Generator: all committed records with this key value.
+
+    Returns a list of ``(rid, record)``.  S-locks each qualifying record
+    (data-only locking) before reading it.
+    """
+    _check_readable(descriptor, key_value)
+    system = descriptor.system
+    table = descriptor.table
+    results = []
+    for entry in _entries_in_range(descriptor, key_value, key_value,
+                                   inclusive_high=True):
+        yield from txn.lock(table.lock_name(RID(*entry.rid)), "S")
+        if entry.pseudo_deleted:
+            continue  # committed-deleted; lock settled it
+        record = yield from table.read_latched(RID(*entry.rid))
+        if record is not None and descriptor.key_of(record) == key_value:
+            results.append((RID(*entry.rid), record))
+    yield Delay(system.config.tree_visit_cost)
+    system.metrics.incr("query.index_lookups")
+    return results
+
+
+def index_range_scan(txn: "Transaction", descriptor: IndexDescriptor,
+                     low_key, high_key, *,
+                     serializable: bool = True):
+    """Generator: committed records with ``low_key <= key < high_key``.
+
+    With ``serializable=True`` the scan takes a next-key lock on the
+    first key at/past ``high_key`` so no phantom can commit into the
+    range before this transaction ends ([Moha90a]).
+    Returns ``[(key_value, rid, record), ...]`` in key order.
+    """
+    _check_readable(descriptor,
+                    high_key if high_key is not None else None)
+    system = descriptor.system
+    table = descriptor.table
+    results = []
+    last_rid_beyond: Optional[RID] = None
+    for entry in _entries_in_range(descriptor, low_key, high_key,
+                                   inclusive_high=False,
+                                   capture_next=True):
+        if entry is _RANGE_END:
+            break
+        if high_key is not None and entry.key_value >= high_key:
+            last_rid_beyond = RID(*entry.rid)
+            break
+        yield from txn.lock(table.lock_name(RID(*entry.rid)), "S")
+        if entry.pseudo_deleted:
+            continue
+        record = yield from table.read_latched(RID(*entry.rid))
+        if record is not None:
+            results.append((entry.key_value, RID(*entry.rid), record))
+    if serializable:
+        if last_rid_beyond is not None:
+            lock_name = table.lock_name(last_rid_beyond)
+        else:
+            lock_name = ("index-eof", descriptor.name)
+        yield from txn.lock(lock_name, "S")
+        system.metrics.incr("query.range_next_key_locks")
+    yield Delay(system.config.tree_visit_cost
+                * max(1, len(results) // 8))
+    system.metrics.incr("query.range_scans")
+    return results
+
+
+_RANGE_END = object()
+
+
+def _entries_in_range(descriptor: IndexDescriptor, low_key, high_key, *,
+                      inclusive_high: bool, capture_next: bool = False):
+    """Entries with key in [low_key, high_key] / [low_key, high_key),
+    plus (optionally) the first entry beyond, in key order.
+
+    Snapshot-per-leaf iteration: safe against concurrent structure
+    changes because each step re-validates via the leaf chain (all code
+    between simulator yields is atomic; callers lock records before
+    trusting what they saw).
+    """
+    tree = descriptor.tree
+    if tree.root is None:
+        return
+    from repro.btree.tree import MIN_RID
+    leaf, _path = tree._traverse((low_key, MIN_RID), count=False)
+    while leaf is not None:
+        for entry in list(leaf.entries):
+            if entry.key_value < low_key:
+                continue
+            if high_key is not None:
+                beyond = (entry.key_value > high_key if inclusive_high
+                          else entry.key_value >= high_key)
+                if beyond:
+                    yield entry
+                    return
+            yield entry
+        leaf = (tree.pages.get(leaf.next_leaf)
+                if leaf.next_leaf is not None else None)
+    if capture_next:
+        yield _RANGE_END
+
+
+def table_scan(txn: "Transaction", table: "Table", predicate=None):
+    """Generator: full-scan fallback (what the new index exists to avoid).
+
+    S-locks and returns every matching committed record; charges the full
+    sequential-scan I/O cost through the buffer pool.
+    """
+    system = table.system
+    results = []
+    page_no = 0
+    while page_no < table.page_count:
+        upto = min(page_no + system.config.prefetch_pages,
+                   table.page_count)
+        page_ids = [table.page_id(p) for p in range(page_no, upto)]
+        pages = yield from system.buffer.fetch_sequential(page_ids)
+        for page in pages:
+            yield Acquire(page.latch, SHARE)
+            try:
+                live = page.live_records()
+            finally:
+                page.latch.release(system.sim.current)
+            for rid, record in live:
+                yield from txn.lock(table.lock_name(rid), "S")
+                current = yield from table.read_latched(rid)
+                if current is None:
+                    continue
+                if predicate is None or predicate(current):
+                    results.append((rid, current))
+        page_no = upto
+    system.metrics.incr("query.table_scans")
+    return results

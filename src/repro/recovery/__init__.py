@@ -1,0 +1,14 @@
+"""Restart recovery and crash injection."""
+
+from repro.recovery.crash import crash_process, run_until_crash
+from repro.recovery.media import ImageCopy, media_restore, take_image_copy
+from repro.recovery.restart import restart
+
+__all__ = [
+    "ImageCopy",
+    "crash_process",
+    "media_restore",
+    "restart",
+    "run_until_crash",
+    "take_image_copy",
+]

@@ -1,0 +1,39 @@
+"""Crash-injection helpers for experiments and tests.
+
+Two styles:
+
+* :func:`run_until_crash` -- run the simulator to a wall-clock instant and
+  power the system off there (mid-flight processes are simply abandoned;
+  their volatile work is what recovery must cope with);
+* :func:`crash_process` -- a spawnable process that raises
+  :class:`~repro.errors.SystemCrash` at a chosen simulated time, stopping
+  the kernel from inside.
+
+Both are followed by :func:`repro.recovery.restart.restart`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SystemCrash
+from repro.sim.kernel import Delay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+
+def run_until_crash(system: "System", at_time: float) -> None:
+    """Run the simulator until ``at_time``, then cut the power.
+
+    After this call, volatile state is gone and the system is ready for
+    :func:`~repro.recovery.restart.restart`.
+    """
+    system.run(until=at_time)
+    system.crash()
+
+
+def crash_process(at_time: float):
+    """A process body that crashes the whole system at ``at_time``."""
+    yield Delay(at_time)
+    raise SystemCrash(f"injected power failure at t={at_time}")

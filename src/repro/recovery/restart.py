@@ -1,0 +1,210 @@
+"""ARIES-lite restart recovery.
+
+After a crash, :func:`restart` rebuilds a consistent system from the
+surviving stable state (disk pages, forced log prefix, forced index
+snapshots, forced side-file prefixes):
+
+1. **Analysis** -- from the latest checkpoint, reconstruct the transaction
+   table (who was active, their last LSN) and pick the redo starting point.
+2. **Redo** -- repeat history: every redo payload from the starting point
+   is re-applied through the operation registry.  Idempotence is per
+   resource: heap pages gate on Page-LSN, index trees on their snapshot
+   watermark (``durable_lsn``), side-files on entry LSNs.
+3. **Undo** -- roll back loser transactions with compensation log records,
+   exactly as live rollback does (section 2.2.3: "the index would be in a
+   structurally consistent state after restart recovery").
+
+The function returns the new :class:`~repro.system.System` plus the
+``utility_state`` of the latest checkpoint, which the interrupted
+index-build utility uses to resume (sections 2.2.3, 3.2.4, 5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.sidefile import register_sidefile_operations
+from repro.system import System, SystemConfig
+from repro.txn.transaction import Transaction
+from repro.wal.records import RecordKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+PreUndoHook = Callable[[System, dict], None]
+
+
+def restart(crashed: System, config: Optional[SystemConfig] = None,
+            pre_undo: Optional[PreUndoHook] = None
+            ) -> tuple[System, dict]:
+    """Run restart recovery; returns ``(new_system, utility_state)``.
+
+    ``pre_undo`` runs after redo and before the undo pass -- index-build
+    resume logic uses it to reinstall the build context (scan position,
+    Index_Build flag) that Figure 2's undo logic consults.
+    """
+    crashed.crash()  # idempotent: ensures volatile state is gone
+    system = System(config or crashed.config,
+                    disk=crashed.disk, log=crashed.log)
+    _rebuild_catalog(crashed, system)
+
+    checkpoint = system.log.latest_checkpoint()
+    utility_state = dict(checkpoint.info.get("utility_state", {})) \
+        if checkpoint is not None else {}
+
+    txn_table, redo_start = _analysis(system, checkpoint)
+    _recover_page_counts(system)  # undo handlers need valid page bounds
+
+    if pre_undo is not None:
+        pre_undo(system, utility_state)
+
+    proc = system.spawn(_redo_then_undo(system, txn_table, redo_start),
+                        name="restart-recovery")
+    system.run()
+    if proc.error is not None:  # pragma: no cover - recovery bug
+        raise proc.error
+
+    _recover_page_counts(system)
+    system.metrics.incr("recovery.restarts")
+    return system, utility_state
+
+
+# -- catalog ------------------------------------------------------------------
+
+
+def _rebuild_catalog(crashed: System, system: System) -> None:
+    """Recreate tables and adopt the stable index trees and side-files.
+
+    A real DBMS reads its catalog tables here; we transliterate the
+    crashed system's catalog, re-pointing the surviving stable structures
+    (tree snapshots, side-file prefixes) at the new system.
+    """
+    from repro.core.descriptor import IndexDescriptor  # lazy: avoid cycle
+    from repro.core.maintenance import install_maintenance
+
+    for table in crashed.tables.values():
+        if not hasattr(table, "page_capacity"):
+            continue  # index-organized tables re-register themselves
+        system.create_table(table.name, table.columns,
+                            page_capacity=table.page_capacity)
+    for name, old_descriptor in crashed.indexes.items():
+        table = system.tables[old_descriptor.table.name]
+        descriptor = IndexDescriptor(
+            system, table, name,
+            old_descriptor.key_columns,
+            unique=old_descriptor.unique)
+        # Adopt the crashed tree object: its pages were already reverted
+        # to the stable snapshot by System.crash().
+        tree = old_descriptor.tree
+        tree.system = system
+        descriptor.tree = tree
+        descriptor.state = old_descriptor.state
+        descriptor.attach()
+    for name, sidefile in crashed.sidefiles.items():
+        sidefile.system = system
+        system.sidefiles[name] = sidefile
+    for name, store in crashed.run_stores.items():
+        system.run_stores[name] = store
+    register_sidefile_operations(system)
+    for table in system.tables.values():
+        if table.indexes:
+            install_maintenance(system, table)
+
+
+# -- analysis --------------------------------------------------------------------
+
+
+def _analysis(system: System, checkpoint) -> tuple[dict, int]:
+    """Reconstruct the transaction table; choose the redo start LSN."""
+    txn_table: dict[int, dict] = {}
+    if checkpoint is not None:
+        for txn_id, state in checkpoint.info.get("txn_table", {}).items():
+            txn_table[int(txn_id)] = dict(state)
+        scan_from = checkpoint.lsn
+        dirty = checkpoint.info.get("dirty_pages", {})
+        rec_lsns = [int(lsn) for lsn in dirty.values()]
+        redo_start = min(rec_lsns + [checkpoint.lsn])
+    else:
+        scan_from = 1
+        redo_start = 1
+
+    max_txn_id = 0
+    for record in system.log.scan(from_lsn=scan_from):
+        if record.txn_id is None:
+            continue
+        max_txn_id = max(max_txn_id, record.txn_id)
+        if record.kind is RecordKind.END:
+            txn_table.pop(record.txn_id, None)
+            continue
+        entry = txn_table.setdefault(
+            record.txn_id, {"first_lsn": record.lsn, "last_lsn": record.lsn,
+                            "committed": False})
+        entry["last_lsn"] = record.lsn
+        if record.kind is RecordKind.COMMIT:
+            entry["committed"] = True
+    system.txns._next_id = max(max_txn_id,
+                               _max_txn_id(system, scan_from))
+    system.metrics.incr("recovery.analysis_passes")
+    return txn_table, redo_start
+
+
+def _max_txn_id(system: System, scan_from: int) -> int:
+    highest = 0
+    for record in system.log.scan():
+        if record.txn_id is not None:
+            highest = max(highest, record.txn_id)
+    return highest
+
+
+# -- redo and undo -------------------------------------------------------------------
+
+
+def _redo_then_undo(system: System, txn_table: dict, redo_start: int):
+    registry = system.log.operations
+    redo_upto = system.log.last_lsn  # CLRs we write go beyond this
+    for record in list(system.log.scan(from_lsn=redo_start,
+                                       to_lsn=redo_upto)):
+        if record.redo is None:
+            continue
+        op_name, _args = record.redo
+        handler = registry.redo(op_name)
+        yield from handler(system, record)
+    system.metrics.incr("recovery.redo_passes")
+    # Redo may have re-created pages the crash lost; refresh the bounds
+    # before undo touches them.
+    _recover_page_counts(system)
+
+    # Undo losers: uncommitted transactions, youngest first.
+    losers = [(txn_id, state) for txn_id, state in txn_table.items()
+              if not state.get("committed")]
+    losers.sort(reverse=True)
+    for txn_id, state in losers:
+        txn = Transaction(system, txn_id, name=f"loser-{txn_id}")
+        txn.first_lsn = state.get("first_lsn")
+        txn.last_lsn = state.get("last_lsn")
+        system.txns.active[txn_id] = txn
+        yield from txn.rollback()
+        system.metrics.incr("recovery.losers_rolled_back")
+
+    # Committed-but-unended transactions need only an END record.
+    for txn_id, state in txn_table.items():
+        if state.get("committed"):
+            system.log.append(txn_id, RecordKind.END, writer="recovery")
+
+    # Bound the next recovery with a fresh (empty) checkpoint.
+    system.log.write_checkpoint({}, dict(system.buffer.dirty), {})
+
+
+# -- post-recovery fixups ----------------------------------------------------------------
+
+
+def _recover_page_counts(system: System) -> None:
+    """Recompute each table's page count from disk and resident frames."""
+    for table in system.tables.values():
+        highest = -1
+        for page_id in system.disk.file_pages(table.name):
+            highest = max(highest, page_id.page_no)
+        for frame in system.buffer.resident_pages():
+            if frame.page_id.file == table.name:
+                highest = max(highest, frame.page_id.page_no)
+        table.page_count = highest + 1

@@ -1,0 +1,17 @@
+"""Append-only side-file (SF algorithm, section 3)."""
+
+from repro.sidefile.sidefile import (
+    DELETE,
+    INSERT,
+    SideFile,
+    SideFileEntry,
+    register_sidefile_operations,
+)
+
+__all__ = [
+    "DELETE",
+    "INSERT",
+    "SideFile",
+    "SideFileEntry",
+    "register_sidefile_operations",
+]

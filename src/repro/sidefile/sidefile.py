@@ -1,0 +1,179 @@
+"""The side-file: SF's append-only change table.
+
+Section 3.1: "A side-file is an append-only (sequential) table in which
+the transactions insert tuples of the form <operation, key>, where
+operation is insert or delete.  Transactions append entries without doing
+any locking of the appended entries" and "transactions write redo-only log
+records for the appends that they make to the side-file".
+
+Appends are therefore:
+
+* unlocked -- concurrent transactions interleave freely (each append is
+  one atomic step in the simulator);
+* redo-only logged -- a crash replays lost appends from the WAL; a
+  transaction *rollback does not remove its appends* (that is the point of
+  redo-only), instead rollback appends a *compensating entry* per
+  Figure 2's "make entry in SF for index under construction".
+
+IB drains the file sequentially and checkpoints its drain position
+(section 3.2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, TYPE_CHECKING
+
+from repro.sim.kernel import Delay
+from repro.storage.rid import RID
+from repro.wal.records import LogRecord, RecordKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+    from repro.txn.transaction import Transaction
+
+INSERT = "insert"
+DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class SideFileEntry:
+    """One logged change destined for the index under construction."""
+
+    operation: str          # INSERT or DELETE
+    key_value: tuple
+    rid: RID
+    lsn: int                # LSN of the redo-only append record
+    txn_id: Optional[int]
+
+
+class SideFile:
+    """Append-only change table for one index build."""
+
+    #: entries per "page" for durability accounting: a crash keeps the
+    #: forced prefix, loses the volatile tail (restored by WAL redo)
+    def __init__(self, system: "System", index_name: str) -> None:
+        self.system = system
+        self.index_name = index_name
+        self.entries: list[SideFileEntry] = []
+        self.durable_length = 0
+
+    # -- appending (generator) ----------------------------------------------
+
+    def append_sync(self, txn: "Transaction", operation: str, key_value,
+                    rid: RID) -> SideFileEntry:
+        """Append one entry with its redo-only log record.
+
+        Synchronous (no yields): callers invoke it atomically with the
+        visibility decision, under the data-page latch.  "Transactions
+        append entries without doing any locking of the appended entries"
+        (section 3.1).
+        """
+        record = txn.log(
+            RecordKind.UPDATE,
+            redo=("sidefile.append", {
+                "index": self.index_name,
+                "operation": operation,
+                "key_value": key_value,
+                "rid": tuple(rid),
+            }),
+            info={"sidefile": self.index_name},
+        )
+        entry = SideFileEntry(
+            operation=operation,
+            key_value=key_value,
+            rid=RID(*rid),
+            lsn=record.lsn,
+            txn_id=txn.txn_id,
+        )
+        self.entries.append(entry)
+        self.system.metrics.incr("sidefile.appends")
+        return entry
+
+    def append(self, txn: "Transaction", operation: str, key_value,
+               rid: RID):
+        """Generator variant of :meth:`append_sync` charging CPU cost."""
+        entry = self.append_sync(txn, operation, key_value, rid)
+        yield Delay(self.system.config.record_op_cost * 0.5)
+        return entry
+
+    def append_during_undo(self, txn: "Transaction", operation: str,
+                           key_value, rid: RID):
+        """Generator-free variant used inside undo handlers (the CLR the
+        caller writes covers durability); still counted separately."""
+        record = txn.system.log.append(
+            txn.txn_id, RecordKind.UPDATE,
+            prev_lsn=None,  # CLR chain is maintained by the caller
+            redo=("sidefile.append", {
+                "index": self.index_name,
+                "operation": operation,
+                "key_value": key_value,
+                "rid": tuple(rid),
+            }),
+            info={"sidefile": self.index_name, "during": "undo"},
+        )
+        self.entries.append(SideFileEntry(
+            operation=operation,
+            key_value=key_value,
+            rid=RID(*rid),
+            lsn=record.lsn,
+            txn_id=txn.txn_id,
+        ))
+        self.system.metrics.incr("sidefile.appends")
+        self.system.metrics.incr("sidefile.appends.during_undo")
+
+    # -- durability ------------------------------------------------------------
+
+    def force(self) -> None:
+        """Make every current entry crash-survivable (IB drain checkpoint)."""
+        self.durable_length = len(self.entries)
+        if self.entries:
+            self.system.log.flush(self.entries[-1].lsn)
+
+    def crash(self) -> None:
+        del self.entries[self.durable_length:]
+
+    def redo_append(self, record: LogRecord) -> None:
+        """Replay one append from the WAL if it was lost in the crash."""
+        _op, args = record.redo
+        if any(entry.lsn == record.lsn for entry in self.entries):
+            return  # already present in the stable prefix
+        self.entries.append(SideFileEntry(
+            operation=args["operation"],
+            key_value=args["key_value"],
+            rid=RID(*args["rid"]),
+            lsn=record.lsn,
+            txn_id=record.txn_id,
+        ))
+        self.system.metrics.incr("recovery.sidefile_redos")
+
+    # -- reading -----------------------------------------------------------------
+
+    def read_from(self, position: int) -> Iterator[tuple[int, SideFileEntry]]:
+        """Entries starting at ``position`` with their positions."""
+        for index in range(position, len(self.entries)):
+            yield index, self.entries[index]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<SideFile {self.index_name} n={len(self.entries)} "
+                f"durable={self.durable_length}>")
+
+
+def register_sidefile_operations(system: "System") -> None:
+    """Install the WAL redo handler for side-file appends."""
+    ops = system.log.operations
+    if ops.knows("sidefile.append"):
+        return
+    ops.register("sidefile.append", redo=_redo_sidefile_append)
+
+
+def _redo_sidefile_append(system: "System", record: LogRecord):
+    _op, args = record.redo
+    sidefile = system.sidefiles.get(args["index"])
+    if sidefile is not None:
+        sidefile.redo_append(record)
+    return
+    yield  # pragma: no cover - generator shape

@@ -1,0 +1,31 @@
+"""Deterministic discrete-event concurrency kernel.
+
+See :mod:`repro.sim.kernel` for the process/effect model and
+:mod:`repro.sim.latch` for S/X latches.
+"""
+
+from repro.sim.kernel import (
+    Acquire,
+    Delay,
+    Join,
+    Process,
+    SimEvent,
+    Simulator,
+    Wait,
+    run_to_completion,
+)
+from repro.sim.latch import EXCLUSIVE, SHARE, Latch
+
+__all__ = [
+    "Acquire",
+    "Delay",
+    "Join",
+    "Process",
+    "SimEvent",
+    "Simulator",
+    "Wait",
+    "run_to_completion",
+    "EXCLUSIVE",
+    "SHARE",
+    "Latch",
+]

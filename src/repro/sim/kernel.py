@@ -1,0 +1,264 @@
+"""Deterministic discrete-event simulation kernel.
+
+The paper evaluates NSF and SF inside a multi-threaded mainframe DBMS.  A
+faithful Python reproduction cannot use OS threads (the GIL serialises them
+and makes interleavings non-deterministic), so concurrency is modelled with
+generator-based *processes* driven by an event-driven scheduler over a
+simulated clock.
+
+A process is a generator function.  It interacts with the kernel by
+yielding *effects*:
+
+``Delay(duration)``
+    Suspend for ``duration`` units of simulated time (models CPU or I/O
+    cost).
+``Acquire(resource, mode)``
+    Block until the resource (latch, lock queue, ...) grants the request.
+``Wait(event)``
+    Block until :meth:`SimEvent.set` is called.  Yields the value passed to
+    ``set``.
+``Join(process)``
+    Block until the given process finishes; yields its return value.
+
+Sub-routines compose with ``yield from``.  Everything a process does
+between two yields is atomic, exactly like the instruction sequences the
+paper protects with latches; the latches still matter because processes
+deliberately *yield between* extraction and insertion steps, reproducing
+the races of section 1.2.
+
+Determinism: ties in the event queue are broken by a monotonically
+increasing sequence number, so two runs with the same seed produce
+identical schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError, SystemCrash
+
+ProcessBody = Generator[Any, Any, Any]
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Suspend the yielding process for ``duration`` simulated time units."""
+
+    duration: float
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Suspend until the event is set; resumes with the event's value."""
+
+    event: "SimEvent"
+
+
+@dataclass(frozen=True)
+class Join:
+    """Suspend until ``process`` completes; resumes with its return value."""
+
+    process: "Process"
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Blocking request for ``resource`` in ``mode`` ("S" or "X")."""
+
+    resource: Any
+    mode: str = "X"
+
+
+class Process:
+    """A running simulated process (transaction, index builder, driver)."""
+
+    __slots__ = ("name", "body", "pid", "finished", "result", "error",
+                 "_waiters", "started_at", "finished_at")
+
+    def __init__(self, name: str, body: ProcessBody, pid: int) -> None:
+        self.name = name
+        self.body = body
+        self.pid = pid
+        self.finished = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._waiters: list[Process] = []
+        self.started_at: float = 0.0
+        self.finished_at: float = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.finished else "live"
+        return f"<Process {self.pid} {self.name!r} {state}>"
+
+
+class SimEvent:
+    """A one-shot signal processes can wait on.
+
+    ``set(value)`` wakes every waiter; waiting on an already-set event
+    resumes immediately with the stored value.
+    """
+
+    __slots__ = ("_sim", "is_set", "value", "_waiters")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self.is_set = False
+        self.value: Any = None
+        self._waiters: list[Process] = []
+
+    def set(self, value: Any = None) -> None:
+        if self.is_set:
+            return
+        self.is_set = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._sim._resume(proc, value)
+
+    def _register(self, proc: Process) -> bool:
+        """Park ``proc``; return True if it must wait (event not yet set)."""
+        if self.is_set:
+            return False
+        self._waiters.append(proc)
+        return True
+
+
+class Simulator:
+    """Event-driven scheduler over a simulated clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Process, Any, bool]] = []
+        self._seq = 0
+        self._pid = 0
+        self.live_processes = 0
+        self.crashed = False
+        self.crash_error: Optional[SystemCrash] = None
+        #: The process currently executing between two yields.  Code called
+        #: synchronously from a process body may read this to identify the
+        #: caller (e.g. for latch ownership).
+        self.current: Optional[Process] = None
+
+    # -- spawning -------------------------------------------------------
+
+    def spawn(self, body: ProcessBody, name: str = "proc") -> Process:
+        """Register a new process; it first runs when the loop reaches it."""
+        self._pid += 1
+        proc = Process(name, body, self._pid)
+        proc.started_at = self.now
+        self.live_processes += 1
+        self._schedule(proc, delay=0.0, value=None)
+        return proc
+
+    def event(self) -> SimEvent:
+        """Create a new unset :class:`SimEvent`."""
+        return SimEvent(self)
+
+    # -- internal scheduling -------------------------------------------
+
+    def _schedule(self, proc: Process, delay: float, value: Any,
+                  throw: bool = False) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, proc,
+                                     value, throw))
+
+    def _resume(self, proc: Process, value: Any = None) -> None:
+        """Make a blocked process runnable at the current time."""
+        self._schedule(proc, delay=0.0, value=value)
+
+    def _throw(self, proc: Process, error: BaseException) -> None:
+        """Make a blocked process resume by raising ``error`` inside it."""
+        self._schedule(proc, delay=0.0, value=error, throw=True)
+
+    # -- main loop ------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Dispatch events until the queue drains, crash, or ``until``.
+
+        Raises nothing on a simulated crash: the kernel stops, sets
+        :attr:`crashed`, and the caller inspects surviving stable storage.
+        A Python error inside a process propagates (it is a bug, not a
+        simulated failure) -- except :class:`SystemCrash`.
+        """
+        while self._queue:
+            time, _seq, proc, value, throw = heapq.heappop(self._queue)
+            if until is not None and time > until:
+                # Put it back so a later run() can continue from here.
+                self._seq += 1
+                heapq.heappush(self._queue,
+                               (time, self._seq, proc, value, throw))
+                self.now = until
+                return
+            self.now = time
+            if proc.finished:
+                continue
+            self._step(proc, value, throw)
+            if self.crashed:
+                return
+
+    def _step(self, proc: Process, value: Any, throw: bool) -> None:
+        self.current = proc
+        try:
+            if throw:
+                effect = proc.body.throw(value)
+            else:
+                effect = proc.body.send(value)
+        except StopIteration as stop:
+            self._finish(proc, result=stop.value)
+            return
+        except SystemCrash as crash:
+            self.crashed = True
+            self.crash_error = crash
+            self._finish(proc, error=crash)
+            return
+        finally:
+            self.current = None
+        self._dispatch(proc, effect)
+
+    def _dispatch(self, proc: Process, effect: Any) -> None:
+        if isinstance(effect, Delay):
+            self._schedule(proc, delay=effect.duration, value=None)
+        elif isinstance(effect, Acquire):
+            effect.resource._request(self, proc, effect.mode)
+        elif isinstance(effect, Wait):
+            if not effect.event._register(proc):
+                self._resume(proc, effect.event.value)
+        elif isinstance(effect, Join):
+            target = effect.process
+            if target.finished:
+                self._resume(proc, target.result)
+            else:
+                target._waiters.append(proc)
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded unknown effect {effect!r}")
+
+    def _finish(self, proc: Process, result: Any = None,
+                error: Optional[BaseException] = None) -> None:
+        proc.finished = True
+        proc.result = result
+        proc.error = error
+        proc.finished_at = self.now
+        self.live_processes -= 1
+        waiters, proc._waiters = proc._waiters, []
+        for waiter in waiters:
+            self._resume(waiter, result)
+
+
+def run_to_completion(bodies: Iterable[tuple[str, ProcessBody]],
+                      until: Optional[float] = None) -> Simulator:
+    """Convenience: spawn named processes on a fresh simulator and run it."""
+    sim = Simulator()
+    for name, body in bodies:
+        sim.spawn(body, name=name)
+    sim.run(until=until)
+    return sim
+
+
+def call(func: Callable[..., ProcessBody], *args: Any, **kwargs: Any):
+    """Readability helper: ``yield from call(f, x)`` == ``yield from f(x)``."""
+    return func(*args, **kwargs)

@@ -1,0 +1,139 @@
+"""Latches: cheap short-duration S/X synchronisation on pages.
+
+Section 1.1 of the paper: "A latch is like a semaphore and it is very cheap
+in terms of instructions executed.  It provides physical consistency of the
+data when a page is being examined.  Readers of the page acquire a share
+(S) latch, while updaters acquire an exclusive (X) latch."
+
+The latch implements the :class:`repro.sim.kernel.Acquire` resource
+protocol.  Grant policy is FIFO with share grouping: a share request joins
+current share holders only if no exclusive request is already queued, which
+prevents writer starvation (the policy used by industrial latch
+implementations and assumed by the paper's hold-time arguments).
+
+Latch acquisitions and waits are counted in the owning system's metrics
+registry so experiments can report latch traffic (section 2.3.1: "This
+saves the pathlength of lock and unlock").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Process, Simulator
+
+SHARE = "S"
+EXCLUSIVE = "X"
+
+
+class Latch:
+    """A share/exclusive latch with FIFO grant order."""
+
+    __slots__ = ("name", "metrics", "_holders", "_mode", "_waiters", "_sim")
+
+    def __init__(self, name: str,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.name = name
+        self.metrics = metrics
+        self._holders: dict["Process", int] = {}
+        self._mode: Optional[str] = None
+        self._waiters: deque[tuple["Process", str, float]] = deque()
+        self._sim: Optional["Simulator"] = None
+
+    # -- kernel resource protocol ----------------------------------------
+
+    def _request(self, sim: "Simulator", proc: "Process", mode: str) -> None:
+        if mode not in (SHARE, EXCLUSIVE):
+            raise SimulationError(f"bad latch mode {mode!r}")
+        self._sim = sim
+        if self.metrics is not None:
+            self.metrics.incr("latch.requests")
+        if self._grantable(proc, mode):
+            self._grant(proc, mode)
+            sim._resume(proc, self)
+        else:
+            if self.metrics is not None:
+                self.metrics.incr("latch.waits")
+            self._waiters.append((proc, mode, sim.now))
+
+    # -- grant logic -------------------------------------------------------
+
+    def _grantable(self, proc: "Process", mode: str) -> bool:
+        if proc in self._holders:
+            raise SimulationError(
+                f"process {proc.name!r} re-acquiring latch {self.name!r}")
+        if self._mode is None:
+            return True
+        if mode == SHARE and self._mode == SHARE:
+            # Share joins shares only if no exclusive request is queued.
+            return not any(m == EXCLUSIVE for _p, m, _t in self._waiters)
+        return False
+
+    def _grant(self, proc: "Process", mode: str) -> None:
+        self._holders[proc] = 1
+        self._mode = mode
+
+    def release(self, proc: Optional["Process"]) -> None:
+        """Release the latch held by ``proc`` and wake eligible waiters.
+
+        ``proc`` may be None when a crashed process's generator is being
+        garbage-collected (its ``finally`` blocks run outside any kernel
+        step); the latch is volatile state at that point, so the release
+        is best-effort and silent.
+        """
+        if proc is None:
+            if self._holders:
+                self._holders.pop(next(iter(self._holders)))
+                if not self._holders:
+                    self._mode = None
+            return
+        if proc not in self._holders:
+            raise SimulationError(
+                f"process {proc.name!r} releasing latch {self.name!r} "
+                "it does not hold")
+        del self._holders[proc]
+        if self._holders:
+            return  # other share holders remain
+        self._mode = None
+        self._wake_waiters()
+
+    def _wake_waiters(self) -> None:
+        if not self._waiters or self._sim is None:
+            return
+        proc, mode, queued_at = self._waiters[0]
+        if mode == EXCLUSIVE:
+            self._waiters.popleft()
+            self._record_wait(queued_at)
+            self._grant(proc, EXCLUSIVE)
+            self._sim._resume(proc, self)
+            return
+        # Grant the whole leading run of share requests.
+        while self._waiters and self._waiters[0][1] == SHARE:
+            proc, _mode, queued_at = self._waiters.popleft()
+            self._record_wait(queued_at)
+            self._grant(proc, SHARE)
+            self._sim._resume(proc, self)
+
+    def _record_wait(self, queued_at: float) -> None:
+        if self.metrics is not None and self._sim is not None:
+            self.metrics.observe("latch.wait_time", self._sim.now - queued_at)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def held(self) -> bool:
+        return bool(self._holders)
+
+    def held_by(self, proc: "Process") -> bool:
+        return proc in self._holders
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Latch {self.name!r} mode={self._mode} "
+                f"holders={len(self._holders)} waiters={len(self._waiters)}>")
+
+

@@ -1,0 +1,23 @@
+"""Restartable external sort (section 5 of the paper)."""
+
+from repro.sort.merge import (
+    RestartableMerger,
+    final_merger,
+    merge_pass,
+    merge_to_single,
+)
+from repro.sort.runs import RunStore, SortRun
+from repro.sort.sorter import RunFormation
+from repro.sort.tournament import INF, LoserTree
+
+__all__ = [
+    "INF",
+    "LoserTree",
+    "RestartableMerger",
+    "RunFormation",
+    "RunStore",
+    "SortRun",
+    "final_merger",
+    "merge_pass",
+    "merge_to_single",
+]

@@ -1,0 +1,160 @@
+"""Restartable merge phase (section 5.2).
+
+An N-way tournament merges N sorted input streams.  Restartability rests
+on the paper's counter vector:
+
+    "Associate with the tournament tree a vector of N counters, where each
+    counter is associated with one input stream ...  while outputting a
+    value from the tree, we increment by one the counter associated with
+    the input stream from which that value came."
+
+A checkpoint forces the output stream and records the counters plus the
+output's end-of-file; restart truncates the output back to that position,
+repositions every input to its counter, and rebuilds the tournament --
+"no key is left out from the merge and no key is output more than once".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import SortRestartError
+from repro.sort.runs import RunStore, SortRun
+from repro.sort.tournament import INF, LoserTree, _Infinite
+
+
+class RestartableMerger:
+    """Merge N input runs into one output run with checkpoint support."""
+
+    def __init__(self, inputs: list[SortRun], output: SortRun,
+                 counters: Optional[list[int]] = None) -> None:
+        if not inputs:
+            raise SortRestartError("merge needs at least one input")
+        self.inputs = list(inputs)
+        self.output = output
+        # Counters are 1-based positions of the next key to read from each
+        # input, as in the paper ("All the counters are initialized to 1").
+        self.counters = list(counters) if counters is not None \
+            else [1] * len(inputs)
+        if len(self.counters) != len(self.inputs):
+            raise SortRestartError("one counter per input stream required")
+        self._tree = LoserTree(len(self.inputs))
+        for slot, run in enumerate(self.inputs):
+            self._tree.set(slot, self._key_at(run, self.counters[slot]))
+        self._tree.build()
+
+    @staticmethod
+    def _key_at(run: SortRun, counter: int) -> Any:
+        index = counter - 1
+        if index >= len(run.keys):
+            return INF
+        return run.keys[index]
+
+    # -- producing ---------------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        return self._tree.exhausted
+
+    def pop(self) -> Optional[Any]:
+        """Produce the next merged key (appending it to the output run),
+        or None when every input is exhausted."""
+        if self._tree.exhausted:
+            return None
+        slot, value = self._tree.pop()
+        self.output.append(value)
+        self.counters[slot] += 1
+        self._tree.set(slot,
+                       self._key_at(self.inputs[slot], self.counters[slot]))
+        self._tree.fixup(slot)
+        return value
+
+    def pop_many(self, limit: int) -> list[Any]:
+        out = []
+        for _ in range(limit):
+            value = self.pop()
+            if value is None:
+                break
+            out.append(value)
+        return out
+
+    def run_to_completion(self) -> SortRun:
+        while self.pop() is not None:
+            pass
+        self.output.closed = True
+        self.output.force()
+        return self.output
+
+    # -- checkpointing (section 5.2) ---------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Force the output and record counters + output end-of-file."""
+        self.output.force()
+        return {
+            "phase": "merge",
+            "inputs": [run.name for run in self.inputs],
+            "counters": list(self.counters),
+            "output": self.output.name,
+            "output_length": len(self.output),
+        }
+
+    @classmethod
+    def restore(cls, store: RunStore, manifest: dict) -> "RestartableMerger":
+        """Resume a merge from its latest checkpoint after a crash."""
+        if manifest.get("phase") != "merge":
+            raise SortRestartError("manifest is not a merge-phase checkpoint")
+        output = store.get(manifest["output"])
+        # "Truncate the tail of the output file so that its end of file
+        # position corresponds to the checkpointed information."
+        output.truncate(manifest["output_length"])
+        output.closed = False
+        inputs = [store.get(name) for name in manifest["inputs"]]
+        return cls(inputs, output, counters=list(manifest["counters"]))
+
+
+def merge_pass(store: RunStore, runs: list[SortRun], fanin: int,
+               ) -> list[SortRun]:
+    """One full merge pass: groups of ``fanin`` runs -> one run each."""
+    if fanin < 2:
+        raise SortRestartError("merge fan-in must be at least 2")
+    merged: list[SortRun] = []
+    for start in range(0, len(runs), fanin):
+        group = runs[start:start + fanin]
+        if len(group) == 1:
+            merged.append(group[0])
+            continue
+        output = store.new_run()
+        merger = RestartableMerger(group, output)
+        merger.run_to_completion()
+        for run in group:
+            store.discard(run.name)
+        merged.append(output)
+    return merged
+
+
+def merge_to_single(store: RunStore, runs: list[SortRun], fanin: int
+                    ) -> Optional[SortRun]:
+    """Repeat merge passes until at most one run remains."""
+    current = list(runs)
+    while len(current) > 1:
+        current = merge_pass(store, current, fanin)
+    return current[0] if current else None
+
+
+def final_merger(store: RunStore, runs: list[SortRun], fanin: int
+                 ) -> Optional[RestartableMerger]:
+    """Prepare the *final* merge as a streaming merger.
+
+    Earlier passes (if the run count exceeds ``fanin``) are performed
+    eagerly; the last pass is returned as a :class:`RestartableMerger` so
+    the caller can pipeline its output into index construction ("the final
+    merge phase of sort can be performed as keys are being inserted into
+    the index", section 2.2.2).  Returns None when there are no runs.
+    """
+    if not runs:
+        return None
+    current = list(runs)
+    while len(current) > fanin:
+        current = merge_pass(store, current, fanin)
+    output = store.new_run()
+    return RestartableMerger(current, output)

@@ -1,0 +1,173 @@
+"""Restartable sort phase: replacement selection with checkpoints.
+
+Implements section 5.1.  Keys stream in from IB's data scan; a tournament
+tree performs *replacement selection* [Knut73], emitting sorted runs about
+twice the workspace size.  Periodically the caller checkpoints:
+
+    "While taking a checkpoint, we wait for the tournament tree to output
+    all the keys that have so far been extracted.  We force to disk all
+    those keys.  We checkpoint the information (file names, etc.) relating
+    to the already output sorted streams and the position of the IB data
+    scan up to which keys have already been extracted and sorted.  For the
+    last sorted stream that was produced, we also record the value of the
+    highest key that was output."
+
+After a crash, :meth:`RunFormation.restore` replays the restart steps of
+section 5.1: discard post-checkpoint streams, reposition the last stream to
+its checkpointed end-of-file, and continue feeding the tournament from the
+checkpointed scan position -- appending to the same stream when the new
+keys are all higher than the checkpointed highest key, else opening a new
+stream (the tournament's run-assignment rule gives exactly that behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import SortRestartError
+from repro.sort.runs import RunStore, SortRun
+from repro.sort.tournament import INF, LoserTree, _Infinite
+
+
+class RunFormation:
+    """Replacement-selection run formation over a :class:`RunStore`."""
+
+    def __init__(self, store: RunStore, workspace_size: int) -> None:
+        if workspace_size < 1:
+            raise SortRestartError("workspace must hold at least one key")
+        self.store = store
+        self.workspace_size = workspace_size
+        self._tree = LoserTree(workspace_size)
+        self._occupied = 0
+        #: sequence number of the run currently being emitted
+        self._emit_seq = 0
+        #: run objects by sequence number
+        self._runs_by_seq: dict[int, SortRun] = {}
+        self._run_order: list[SortRun] = []
+        self.keys_pushed = 0
+        self._finished = False
+
+    # -- feeding ------------------------------------------------------------
+
+    def push(self, key: Any) -> None:
+        """Feed one key from the data scan."""
+        if self._finished:
+            raise SortRestartError("run formation already finished")
+        self.keys_pushed += 1
+        if self._occupied < self.workspace_size:
+            seq = self._assign_seq(key)
+            self._tree.set(self._occupied, (seq, key))
+            self._occupied += 1
+            if self._occupied == self.workspace_size:
+                self._tree.build()
+            return
+        slot, (seq, smallest) = self._tree.pop()
+        self._emit(seq, smallest)
+        new_seq = seq if key >= smallest else seq + 1
+        self._tree.set(slot, (new_seq, key))
+        self._tree.fixup(slot)
+
+    def _assign_seq(self, key: Any) -> int:
+        """Run assignment when the workspace is (re)filling: the key joins
+        the current run if it does not break its sort order."""
+        current = self._runs_by_seq.get(self._emit_seq)
+        if current is None or current.highest_key is None \
+                or key >= current.highest_key:
+            return self._emit_seq
+        return self._emit_seq + 1
+
+    def _emit(self, seq: int, key: Any) -> None:
+        run = self._runs_by_seq.get(seq)
+        if run is None:
+            run = self.store.new_run()
+            self._runs_by_seq[seq] = run
+            self._run_order.append(run)
+            if seq > self._emit_seq:
+                previous = self._runs_by_seq.get(self._emit_seq)
+                if previous is not None:
+                    previous.closed = True
+                self._emit_seq = seq
+        run.append(key)
+
+    # -- draining (checkpoints and finish) --------------------------------------
+
+    def drain(self) -> None:
+        """Emit every key still in the workspace, preserving run
+        assignment ("we wait for the tournament tree to output all the
+        keys that have so far been extracted")."""
+        if self._occupied < self.workspace_size:
+            # Partial fill: only the first _occupied slots hold keys.
+            pending = [self._tree.values[i] for i in range(self._occupied)
+                       if not isinstance(self._tree.values[i], _Infinite)]
+            for seq, key in sorted(pending):
+                self._emit(seq, key)
+            self._tree = LoserTree(self.workspace_size)
+            self._occupied = 0
+            return
+        while not self._tree.exhausted:
+            slot, (seq, key) = self._tree.pop()
+            self._emit(seq, key)
+            self._tree.set(slot, INF)
+            self._tree.fixup(slot)
+        self._tree = LoserTree(self.workspace_size)
+        self._occupied = 0
+
+    def checkpoint(self, scan_position: Any) -> dict:
+        """Drain, force all runs, and return the restart manifest."""
+        self.drain()
+        for run in self._run_order:
+            run.force()
+        last = self._run_order[-1] if self._run_order else None
+        manifest = {
+            "phase": "sort",
+            "scan_position": scan_position,
+            "runs": [run.name for run in self._run_order],
+            "run_lengths": {run.name: len(run) for run in self._run_order},
+            "emit_seq": self._emit_seq,
+            "last_run": last.name if last is not None else None,
+            "last_highest_key": last.highest_key if last is not None else None,
+        }
+        return manifest
+
+    def finish(self) -> list[SortRun]:
+        """Drain, close and force every run; returns them in order."""
+        self.drain()
+        for run in self._run_order:
+            run.closed = True
+            run.force()
+        self._finished = True
+        return list(self._run_order)
+
+    @property
+    def runs(self) -> list[SortRun]:
+        return list(self._run_order)
+
+    # -- restart (section 5.1) ------------------------------------------------------
+
+    @classmethod
+    def restore(cls, store: RunStore, manifest: dict,
+                workspace_size: int) -> tuple["RunFormation", Any]:
+        """Rebuild run formation from a checkpoint after a crash.
+
+        Returns ``(sorter, scan_position)``: the caller repositions IB's
+        data scan to ``scan_position`` and resumes pushing keys.
+        """
+        if manifest.get("phase") != "sort":
+            raise SortRestartError("manifest is not a sort-phase checkpoint")
+        store.keep_only(list(manifest["runs"]))
+        for name, length in manifest["run_lengths"].items():
+            store.get(name).truncate(length)
+        sorter = cls(store, workspace_size)
+        sorter._emit_seq = manifest["emit_seq"]
+        for seq_offset, name in enumerate(manifest["runs"]):
+            run = store.get(name)
+            run.closed = False
+            # Sequence numbers are dense in emission order ending at
+            # emit_seq; rebuild the mapping accordingly.
+            seq = manifest["emit_seq"] - (len(manifest["runs"]) - 1
+                                          - seq_offset)
+            sorter._runs_by_seq[seq] = run
+            sorter._run_order.append(run)
+        for run in sorter._run_order[:-1]:
+            run.closed = True
+        return sorter, manifest["scan_position"]

@@ -1,0 +1,136 @@
+"""Tournament (loser) tree -- the comparison engine of section 5.
+
+The paper assumes "a tournament tree sort [Knut73]" for both sorting
+phases.  This is Knuth's *tree of losers*: an array-embedded complete
+binary tree whose internal nodes remember the loser of each match and
+whose root produces the overall winner with O(log N) comparisons per
+output.
+
+The property the merge-phase checkpoint relies on (section 5.2) holds by
+construction: "a particular leaf node of the tree is always fed from the
+same input stream", so every produced value is attributable to exactly one
+input.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+#: Sentinel greater than every real key.  Tuples of this sort above any
+#: composite key tuple; a dedicated class keeps the comparison total.
+
+
+class _Infinite:
+    """Compares greater than everything (except another _Infinite)."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __gt__(self, other: Any) -> bool:
+        return not isinstance(other, _Infinite)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "INF"
+
+
+INF = _Infinite()
+
+
+def _less(a: Any, b: Any) -> bool:
+    if isinstance(a, _Infinite):
+        return False
+    if isinstance(b, _Infinite):
+        return True
+    return a < b
+
+
+class LoserTree:
+    """A tree of losers over ``size`` feedable slots.
+
+    Usage::
+
+        tree = LoserTree(size)
+        for slot in range(size):
+            tree.set(slot, first_value_of(slot))
+        tree.build()
+        while not tree.exhausted:
+            slot, value = tree.pop()
+            tree.set(slot, next_value_of(slot) or INF)
+            tree.fixup(slot)
+
+    ``pop`` returns the minimum value and the slot it came from; the caller
+    replenishes that slot (with :data:`INF` when the source is dry) and
+    calls :meth:`fixup`.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("tournament tree needs at least one slot")
+        self.size = size
+        self.values: list[Any] = [INF] * size
+        # losers[0] holds the overall winner; losers[1:] the match losers.
+        self._losers: list[int] = [0] * size
+        self._built = False
+        self.comparisons = 0
+
+    # -- feeding -----------------------------------------------------------
+
+    def set(self, slot: int, value: Any) -> None:
+        self.values[slot] = value
+
+    def build(self) -> None:
+        """(Re)play all matches after the initial feed."""
+        winners: dict[int, int] = {}
+        size = self.size
+        # Leaves occupy virtual nodes [size, 2*size); play bottom-up.
+        for node in range(2 * size - 1, size - 1, -1):
+            winners[node] = node - size
+        for node in range(size - 1, 0, -1):
+            left, right = winners[2 * node], winners[2 * node + 1]
+            self.comparisons += 1
+            if _less(self.values[right], self.values[left]):
+                winner, loser = right, left
+            else:
+                winner, loser = left, right
+            self._losers[node] = loser
+            winners[node] = winner
+        self._losers[0] = winners[1] if size > 1 else 0
+        self._built = True
+
+    # -- producing ------------------------------------------------------------
+
+    def pop(self) -> tuple[int, Any]:
+        """The current minimum (slot, value).  Caller must then
+        :meth:`set` the slot and :meth:`fixup`."""
+        if not self._built:
+            self.build()
+        slot = self._losers[0]
+        return slot, self.values[slot]
+
+    def fixup(self, slot: int) -> None:
+        """Replay matches on the path from ``slot`` to the root."""
+        size = self.size
+        winner = slot
+        node = (slot + size) // 2
+        while node >= 1:
+            loser = self._losers[node]
+            self.comparisons += 1
+            if _less(self.values[loser], self.values[winner]):
+                self._losers[node] = winner
+                winner = loser
+            node //= 2
+        self._losers[0] = winner
+
+    @property
+    def exhausted(self) -> bool:
+        if not self._built:
+            self.build()
+        return isinstance(self.values[self._losers[0]], _Infinite)
+
+    @property
+    def minimum(self) -> Any:
+        if not self._built:
+            self.build()
+        return self.values[self._losers[0]]

@@ -1,0 +1,18 @@
+"""Page-based storage substrate: pages, disk, buffer pool, heap tables."""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import Disk
+from repro.storage.page import DataPage, Record
+from repro.storage.rid import INFINITY_RID, PageId, RID
+from repro.storage.table import Table
+
+__all__ = [
+    "BufferPool",
+    "Disk",
+    "DataPage",
+    "Record",
+    "INFINITY_RID",
+    "PageId",
+    "RID",
+    "Table",
+]

@@ -1,0 +1,192 @@
+"""Buffer pool with LRU replacement, steal/no-force, and prefetch.
+
+Data pages flow through here.  The pool enforces the WAL rule: before a
+dirty page is written to disk (eviction or explicit flush), the log is
+forced up to the page's Page-LSN.  It also tracks each dirty page's
+*recovery LSN* (the LSN that first dirtied it), which restart recovery's
+analysis pass uses to bound the redo scan.
+
+All methods that may perform I/O are generators: callers invoke them as
+``page = yield from pool.fetch(pid)`` so the simulated clock advances by
+the disk cost.  Sequential prefetch (section 2.2.2, [TeGu84]) is exposed as
+:meth:`fetch_sequential`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from repro.errors import StorageError
+from repro.metrics import MetricsRegistry
+from repro.sim.kernel import Delay
+from repro.storage.disk import Disk
+from repro.storage.page import DataPage
+from repro.storage.rid import PageId
+from repro.wal.manager import LogManager
+
+
+class BufferPool:
+    """Page cache between processes and the :class:`Disk`."""
+
+    def __init__(self, disk: Disk, log: LogManager, capacity: int = 256,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        if capacity < 1:
+            raise StorageError("buffer pool needs at least one frame")
+        self.disk = disk
+        self.log = log
+        self.capacity = capacity
+        self.metrics = metrics or MetricsRegistry()
+        self._frames: "OrderedDict[PageId, DataPage]" = OrderedDict()
+        #: dirty page table: page_id -> recovery LSN (first dirtying LSN)
+        self.dirty: dict[PageId, int] = {}
+
+    # -- fetch paths ---------------------------------------------------------
+
+    def fetch(self, page_id: PageId):
+        """Get a page (generator; yields I/O delay on a miss)."""
+        page = self._frames.get(page_id)
+        if page is not None:
+            self._frames.move_to_end(page_id)
+            self.metrics.incr("buffer.hits")
+            return page
+        self.metrics.incr("buffer.misses")
+        image = self.disk.read_page(page_id)
+        if image is None:
+            raise StorageError(f"page {page_id} does not exist on disk")
+        yield Delay(self.disk.read_cost(1))
+        yield from self._install(image)
+        return image
+
+    def fetch_sequential(self, page_ids: list[PageId]):
+        """Fetch consecutive pages with one sequential I/O for the misses.
+
+        Models the paper's sequential prefetch: "multiple pages may be read
+        in one I/O" (section 2.2.2).  Returns the pages in request order.
+        """
+        missing = [pid for pid in page_ids if pid not in self._frames]
+        if missing:
+            self.metrics.incr("buffer.misses", len(missing))
+            self.metrics.incr("buffer.prefetches")
+            yield Delay(self.disk.read_cost(len(missing)))
+            for pid in missing:
+                image = self.disk.read_page(pid)
+                if image is None:
+                    raise StorageError(f"page {pid} does not exist on disk")
+                yield from self._install(image)
+        hits = len(page_ids) - len(missing)
+        if hits:
+            self.metrics.incr("buffer.hits", hits)
+        pages = []
+        for pid in page_ids:
+            page = self._frames.get(pid)
+            if page is None:
+                # A concurrent fetch (parallel scan readers under a small
+                # pool) evicted this page between our prefetch I/O and
+                # now; bring it back individually.
+                page = yield from self.fetch(pid)
+            self._frames.move_to_end(pid)
+            pages.append(page)
+        return pages
+
+    def new_page(self, page_id: PageId, capacity: int):
+        """Create a brand-new page in the pool (no disk read).
+
+        The page reaches disk when evicted or flushed; until then only the
+        WAL knows about it -- exactly the window restart recovery must
+        handle by re-creating pages from log records.
+        """
+        if page_id in self._frames or self.disk.has_page(page_id):
+            raise StorageError(f"page {page_id} already exists")
+        page = DataPage(page_id, capacity, metrics=self.metrics)
+        yield from self._install(page)
+        # A fresh page is dirty from birth: it exists nowhere on disk.  Its
+        # conservative recovery LSN is the next LSN to be written.
+        self.dirty.setdefault(page_id, self.log.last_lsn + 1)
+        return page
+
+    def ensure_page(self, page_id: PageId, capacity: int):
+        """Fetch ``page_id``; create it empty if it never reached disk.
+
+        Used by redo handlers replaying an insert into a page that was
+        allocated but lost in the crash.
+        """
+        if page_id in self._frames:
+            page = self._frames[page_id]
+            self._frames.move_to_end(page_id)
+            return page
+        if self.disk.has_page(page_id):
+            page = yield from self.fetch(page_id)
+            return page
+        page = yield from self.new_page(page_id, capacity)
+        return page
+
+    # -- dirtying and flushing -------------------------------------------------
+
+    def mark_dirty(self, page: DataPage, lsn: int) -> None:
+        """Record that ``page`` was changed by the log record ``lsn``.
+
+        The dirty-table entry keeps the *lowest* LSN seen: normally the
+        first dirtying LSN; during restart redo it corrects the
+        conservative placeholder :meth:`new_page` installed, so a second
+        crash still redoes from early enough.
+        """
+        page.page_lsn = max(page.page_lsn, lsn)
+        current = self.dirty.get(page.page_id)
+        if current is None or lsn < current:
+            self.dirty[page.page_id] = lsn
+
+    def flush_page(self, page_id: PageId):
+        """Write one dirty page to disk (WAL rule enforced)."""
+        page = self._frames.get(page_id)
+        if page is None or page_id not in self.dirty:
+            return
+        self.log.flush(page.page_lsn)
+        yield Delay(self.disk.write_cost(1))
+        self.disk.write_page(page)
+        del self.dirty[page_id]
+        self.metrics.incr("buffer.page_flushes")
+
+    def flush_all(self):
+        """Write every dirty page (used by SF's index checkpoint, §3.2.4)."""
+        for page_id in list(self.dirty):
+            yield from self.flush_page(page_id)
+
+    # -- internals --------------------------------------------------------------
+
+    def _install(self, page: DataPage):
+        while len(self._frames) >= self.capacity:
+            yield from self._evict_one()
+        self._frames[page.page_id] = page
+        return page
+
+    def _evict_one(self):
+        for victim_id in self._frames:
+            break
+        else:  # pragma: no cover - guarded by capacity check
+            raise StorageError("buffer pool empty, nothing to evict")
+        victim = self._frames.pop(victim_id)
+        if victim_id in self.dirty:
+            # steal: write the (possibly uncommitted) page out, WAL first
+            self.log.flush(victim.page_lsn)
+            yield Delay(self.disk.write_cost(1))
+            self.disk.write_page(victim)
+            del self.dirty[victim_id]
+            self.metrics.incr("buffer.evictions.dirty")
+        else:
+            self.metrics.incr("buffer.evictions.clean")
+
+    # -- crash modelling ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile state (frames and dirty table)."""
+        self._frames.clear()
+        self.dirty.clear()
+
+    # -- introspection --------------------------------------------------------------
+
+    def resident(self, page_id: PageId) -> bool:
+        return page_id in self._frames
+
+    def resident_pages(self) -> Iterator[DataPage]:
+        return iter(self._frames.values())

@@ -1,0 +1,75 @@
+"""Stable storage model.
+
+A :class:`Disk` keeps the crash-surviving image of every page, plus I/O
+cost accounting.  Costs follow the paper's discussion in sections 2.2.2 and
+2.3.1: random page reads are expensive, while *sequential prefetch* reads
+multiple pages in one I/O [TeGu84] and parallel readers overlap I/Os
+[PMCLS90].
+
+Cost model (simulated time units):
+
+* ``RANDOM_IO`` for the first page of any read or write;
+* ``SEQ_PAGE`` for each additional page of a sequential multi-page read;
+* writes are always single-page.
+
+The absolute values are arbitrary; only ratios matter for the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics import MetricsRegistry
+from repro.storage.page import DataPage
+from repro.storage.rid import PageId
+
+
+class Disk:
+    """Crash-surviving page images with I/O cost accounting."""
+
+    RANDOM_IO = 10.0
+    SEQ_PAGE = 1.0
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics or MetricsRegistry()
+        self._images: dict[PageId, DataPage] = {}
+
+    # -- cost helpers (callers yield Delay(cost)) ---------------------------
+
+    def read_cost(self, pages: int = 1) -> float:
+        """Cost of one sequential read of ``pages`` consecutive pages."""
+        if pages <= 0:
+            return 0.0
+        self.metrics.incr("disk.reads")
+        self.metrics.incr("disk.pages_read", pages)
+        return self.RANDOM_IO + (pages - 1) * self.SEQ_PAGE
+
+    def write_cost(self, pages: int = 1) -> float:
+        if pages <= 0:
+            return 0.0
+        self.metrics.incr("disk.writes")
+        self.metrics.incr("disk.pages_written", pages)
+        return self.RANDOM_IO + (pages - 1) * self.SEQ_PAGE
+
+    # -- stable images -------------------------------------------------------
+
+    def write_page(self, page: DataPage) -> None:
+        """Store a stable image of ``page`` (caller charges write_cost)."""
+        self._images[page.page_id] = page.clone()
+
+    def read_page(self, page_id: PageId) -> Optional[DataPage]:
+        """A fresh copy of the stable image, or None if never written."""
+        image = self._images.get(page_id)
+        return image.clone() if image is not None else None
+
+    def has_page(self, page_id: PageId) -> bool:
+        return page_id in self._images
+
+    def drop_file(self, file_name: str) -> None:
+        """Discard every stable page of ``file_name`` (index cancel/drop)."""
+        doomed = [pid for pid in self._images if pid.file == file_name]
+        for pid in doomed:
+            del self._images[pid]
+
+    def file_pages(self, file_name: str) -> list[PageId]:
+        return sorted(pid for pid in self._images if pid.file == file_name)

@@ -1,0 +1,118 @@
+"""Slotted data pages.
+
+Records of a table live in fixed-capacity slotted pages (section 1.1 "Data
+Storage Model").  Each page carries a Page-LSN -- the LSN of the last log
+record describing a change to the page -- which is how ARIES redo decides
+whether a logged change is already present (repeat-history test), and an
+S/X latch providing physical consistency (section 1.1 footnote 2).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PageFullError, RecordNotFoundError
+from repro.metrics import MetricsRegistry
+from repro.sim.latch import Latch
+from repro.storage.rid import PageId, RID
+
+
+@dataclass(frozen=True)
+class Record:
+    """One table record: a tuple of column values.
+
+    Records are immutable; an update replaces the record in its slot (the
+    paper's update-in-place with before/after images in the log record).
+    """
+
+    values: tuple
+
+    def project(self, column_indexes: tuple[int, ...]) -> tuple:
+        """Concatenated key-column values (section 1.1: a key value is the
+        concatenation of the indexed columns' values)."""
+        return tuple(self.values[i] for i in column_indexes)
+
+
+class DataPage:
+    """A slotted page holding up to ``capacity`` records."""
+
+    __slots__ = ("page_id", "capacity", "slots", "page_lsn", "latch")
+
+    def __init__(self, page_id: PageId, capacity: int,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.page_id = page_id
+        self.capacity = capacity
+        self.slots: list[Optional[Record]] = [None] * capacity
+        self.page_lsn = 0
+        self.latch = Latch(f"data:{page_id}", metrics=metrics)
+
+    # -- slot operations (physical, no logging -- callers log) ------------
+
+    def put(self, slot: int, record: Record) -> None:
+        """Place ``record`` in ``slot`` (insert or redo of insert)."""
+        self._check_slot(slot)
+        self.slots[slot] = record
+
+    def clear(self, slot: int) -> None:
+        """Empty ``slot`` (delete or undo of insert)."""
+        self._check_slot(slot)
+        self.slots[slot] = None
+
+    def get(self, slot: int) -> Record:
+        self._check_slot(slot)
+        record = self.slots[slot]
+        if record is None:
+            raise RecordNotFoundError(
+                f"no record at {self.page_id} slot {slot}")
+        return record
+
+    def peek(self, slot: int) -> Optional[Record]:
+        self._check_slot(slot)
+        return self.slots[slot]
+
+    def free_slot(self) -> Optional[int]:
+        """Lowest empty slot, or None when the page is full."""
+        for index, record in enumerate(self.slots):
+            if record is None:
+                return index
+        return None
+
+    def live_records(self) -> list[tuple[RID, Record]]:
+        """All occupied slots as ``(rid, record)`` in slot order."""
+        page_no = self.page_id.page_no
+        return [(RID(page_no, index), record)
+                for index, record in enumerate(self.slots)
+                if record is not None]
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for record in self.slots if record is not None)
+
+    @property
+    def is_full(self) -> bool:
+        return self.free_slot() is None
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.capacity:
+            raise PageFullError(
+                f"slot {slot} out of range for {self.page_id} "
+                f"(capacity {self.capacity})")
+
+    # -- crash modelling ----------------------------------------------------
+
+    def clone(self) -> "DataPage":
+        """Deep copy of the page *content* for the stable disk image.
+
+        The clone gets a fresh latch: latches are volatile state and do not
+        survive a crash.
+        """
+        twin = DataPage(self.page_id, self.capacity)
+        twin.slots = copy.copy(self.slots)  # records are immutable
+        twin.page_lsn = self.page_lsn
+        return twin
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<DataPage {self.page_id} lsn={self.page_lsn} "
+                f"live={self.live_count}/{self.capacity}>")

@@ -1,0 +1,40 @@
+"""Record and page identifiers.
+
+The paper's index entries are ``<key value, RID>`` where the RID is the
+record ID of the record containing that key value (section 1.1).  A RID is
+``(page number, slot)`` within the table's data file.  RIDs order by page
+then slot -- the order IB's sequential scan visits records, which is what
+makes SF's ``Target-RID < Current-RID`` visibility test meaningful
+(section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class RID(NamedTuple):
+    """Record identifier: data page number and slot within the page."""
+
+    page_no: int
+    slot: int
+
+    def __str__(self) -> str:
+        return f"({self.page_no},{self.slot})"
+
+
+class PageId(NamedTuple):
+    """Globally unique page address: owning file name plus page number."""
+
+    file: str
+    page_no: int
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.page_no}"
+
+
+#: Sentinel scan position meaning "IB has finished the data scan".
+#: Section 3.2.2: "When IB finishes processing the last data page, it sets
+#: Current-RID to infinity", so later file extensions still go to the
+#: side-file.
+INFINITY_RID = RID(page_no=2**62, slot=0)

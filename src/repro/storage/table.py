@@ -1,0 +1,432 @@
+"""Heap tables: the record manager.
+
+Implements the data-page side of the paper's Figure 1 (forward processing)
+and Figure 2 (rollback): every record insert/delete/update
+
+1. X-latches the target data page,
+2. determines the *visibility* of any index currently being built (SF's
+   ``Target-RID < Current-RID`` test) by asking the maintenance hook,
+3. modifies the record, writes the log record **including the count of
+   visible indexes** (section 3.1: "Additional information is required in
+   the log record for a data page operation.  This will be the count of
+   the visible indexes"), and updates the Page-LSN,
+4. unlatches,
+5. lets the maintenance hook update the visible indexes (directly or via
+   the side-file).
+
+Undo handlers re-run the same shape with Figure 2's count comparison
+delegated to the maintenance hook.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import RecordNotFoundError, StorageError
+from repro.sim.kernel import Acquire, Delay
+from repro.sim.latch import EXCLUSIVE, SHARE
+from repro.storage.page import DataPage, Record
+from repro.storage.rid import PageId, RID
+from repro.wal.records import LogRecord, RecordKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+    from repro.txn.transaction import Transaction
+
+
+class _NullSnapshot:
+    """Empty visibility decision (no indexes)."""
+
+    count = 0
+    direct: list = []
+    sf_routed: list = []
+
+
+class NullMaintenance:
+    """Maintenance hook used before any index exists.
+
+    The real hook (:class:`repro.core.maintenance.IndexMaintenance`) is
+    installed when the first index descriptor is created.
+    """
+
+    def visible_count(self, txn, rid):
+        return 0
+
+    def prepare_insert(self, txn, rid, record):
+        return _NullSnapshot()
+
+    def prepare_delete(self, txn, rid, record):
+        return _NullSnapshot()
+
+    def prepare_update(self, txn, rid, old_record, new_record):
+        return _NullSnapshot()
+
+    def apply_direct(self, txn, snapshot):
+        return
+        yield  # pragma: no cover - generator shape
+
+    def on_undo(self, txn, log_record, action, rid, old_record, new_record):
+        return
+        yield  # pragma: no cover
+
+
+class Table:
+    """One heap table: a file of slotted pages plus its indexes."""
+
+    def __init__(self, system: "System", name: str,
+                 columns: Sequence[str],
+                 page_capacity: Optional[int] = None) -> None:
+        self.system = system
+        self.name = name
+        self.columns = tuple(columns)
+        self.page_capacity = page_capacity or system.config.page_capacity
+        self.page_count = 0
+        #: Index descriptors in creation order.  Section 3.1 footnote 6:
+        #: "the number of indexes can only increase while update
+        #: transactions are active".
+        self.indexes: list = []
+        self.maintenance = NullMaintenance()
+        self._register_operations()
+
+    # -- naming ------------------------------------------------------------
+
+    def page_id(self, page_no: int) -> PageId:
+        return PageId(self.name, page_no)
+
+    def lock_name(self, rid: RID) -> tuple:
+        """Data-only lock name for a record (covers its index keys too)."""
+        return ("rec", self.name, rid)
+
+    @property
+    def table_lock_name(self) -> tuple:
+        return ("table", self.name)
+
+    def column_indexes(self, columns: Sequence[str]) -> tuple[int, ...]:
+        try:
+            return tuple(self.columns.index(c) for c in columns)
+        except ValueError as exc:
+            raise StorageError(f"unknown column in {columns!r}") from exc
+
+    # -- forward processing ---------------------------------------------------
+
+    def _intent_lock(self, txn: "Transaction"):
+        """Generator: table-level IX lock every updater holds to commit.
+
+        This is what makes NSF's descriptor-create quiesce work: IB's S
+        lock on the table (section 2.2.1) waits for these IX locks, and
+        new updaters queue behind IB's request.
+        """
+        yield from txn.lock(self.table_lock_name, "IX")
+
+    def insert(self, txn: "Transaction", values: Sequence):
+        """Generator: insert a record; returns its RID."""
+        yield from self._intent_lock(txn)
+        record = Record(tuple(values))
+        page, slot = yield from self._pick_insert_slot(txn)
+        rid = RID(page.page_id.page_no, slot)
+        yield from self._locked_insert(txn, page, rid, record)
+        return rid
+
+    def insert_at(self, txn: "Transaction", rid: RID, values: Sequence):
+        """Generator: insert at a specific RID (slot-reuse scenarios).
+
+        Used to reproduce the paper's section 2.2.3 example where T2
+        inserts a record "at the same location (RID R)" after T1's
+        rollback freed it.
+        """
+        yield from self._intent_lock(txn)
+        record = Record(tuple(values))
+        granted = yield from txn.lock(self.lock_name(rid), "X")
+        assert granted
+        page = yield from self._fetch_page(rid.page_no)
+        yield Acquire(page.latch, EXCLUSIVE)
+        try:
+            if page.peek(rid.slot) is not None:
+                raise StorageError(f"slot {rid} is occupied")
+        finally:
+            page.latch.release(self.system.sim.current)
+        yield from self._locked_insert(txn, page, rid, record)
+        return rid
+
+    def _locked_insert(self, txn: "Transaction", page: DataPage, rid: RID,
+                       record: Record):
+        yield Acquire(page.latch, EXCLUSIVE)
+        try:
+            snapshot = self.maintenance.prepare_insert(txn, rid, record)
+            page.put(rid.slot, record)
+            log_record = txn.log(
+                RecordKind.UPDATE,
+                page_id=page.page_id,
+                redo=("heap.put", {"table": self.name, "rid": rid,
+                                   "values": record.values,
+                                   "capacity": self.page_capacity}),
+                undo=("heap.insert", {"table": self.name, "rid": rid,
+                                      "values": record.values}),
+                info={"table": self.name, "action": "insert", "rid": rid,
+                      "visible_count": snapshot.count,
+                      "sf_routed": list(snapshot.sf_routed)},
+            )
+            self.system.buffer.mark_dirty(page, log_record.lsn)
+        finally:
+            page.latch.release(self.system.sim.current)
+        yield Delay(self.system.config.record_op_cost)
+        self.system.metrics.incr("heap.inserts")
+        yield from self.maintenance.apply_direct(txn, snapshot)
+
+    def delete(self, txn: "Transaction", rid: RID):
+        """Generator: delete the record at ``rid``; returns the old record."""
+        yield from self._intent_lock(txn)
+        granted = yield from txn.lock(self.lock_name(rid), "X")
+        assert granted
+        page = yield from self._fetch_page(rid.page_no)
+        yield Acquire(page.latch, EXCLUSIVE)
+        try:
+            record = page.get(rid.slot)
+            snapshot = self.maintenance.prepare_delete(txn, rid, record)
+            page.clear(rid.slot)
+            log_record = txn.log(
+                RecordKind.UPDATE,
+                page_id=page.page_id,
+                redo=("heap.clear", {"table": self.name, "rid": rid,
+                                     "capacity": self.page_capacity}),
+                undo=("heap.delete", {"table": self.name, "rid": rid,
+                                      "values": record.values}),
+                info={"table": self.name, "action": "delete", "rid": rid,
+                      "visible_count": snapshot.count,
+                      "sf_routed": list(snapshot.sf_routed)},
+            )
+            self.system.buffer.mark_dirty(page, log_record.lsn)
+        finally:
+            page.latch.release(self.system.sim.current)
+        yield Delay(self.system.config.record_op_cost)
+        self.system.metrics.incr("heap.deletes")
+        yield from self.maintenance.apply_direct(txn, snapshot)
+        return record
+
+    def update(self, txn: "Transaction", rid: RID, new_values: Sequence):
+        """Generator: replace the record at ``rid``; returns (old, new)."""
+        yield from self._intent_lock(txn)
+        new_record = Record(tuple(new_values))
+        granted = yield from txn.lock(self.lock_name(rid), "X")
+        assert granted
+        page = yield from self._fetch_page(rid.page_no)
+        yield Acquire(page.latch, EXCLUSIVE)
+        try:
+            old_record = page.get(rid.slot)
+            snapshot = self.maintenance.prepare_update(txn, rid,
+                                                       old_record,
+                                                       new_record)
+            page.put(rid.slot, new_record)
+            log_record = txn.log(
+                RecordKind.UPDATE,
+                page_id=page.page_id,
+                redo=("heap.put", {"table": self.name, "rid": rid,
+                                   "values": new_record.values,
+                                   "capacity": self.page_capacity}),
+                undo=("heap.update", {"table": self.name, "rid": rid,
+                                      "old_values": old_record.values,
+                                      "new_values": new_record.values}),
+                info={"table": self.name, "action": "update", "rid": rid,
+                      "visible_count": snapshot.count,
+                      "sf_routed": list(snapshot.sf_routed)},
+            )
+            self.system.buffer.mark_dirty(page, log_record.lsn)
+        finally:
+            page.latch.release(self.system.sim.current)
+        yield Delay(self.system.config.record_op_cost)
+        self.system.metrics.incr("heap.updates")
+        yield from self.maintenance.apply_direct(txn, snapshot)
+        return old_record, new_record
+
+    def read(self, txn: "Transaction", rid: RID):
+        """Generator: S-lock and read one record."""
+        granted = yield from txn.lock(self.lock_name(rid), "S")
+        assert granted
+        page = yield from self._fetch_page(rid.page_no)
+        yield Acquire(page.latch, SHARE)
+        try:
+            record = page.get(rid.slot)
+        finally:
+            page.latch.release(self.system.sim.current)
+        return record
+
+    def read_latched(self, rid: RID):
+        """Generator: latch-only read (no lock) -- what IB uses to verify
+        record state during unique-violation checks (section 2.2.3)."""
+        page = yield from self._fetch_page(rid.page_no)
+        yield Acquire(page.latch, SHARE)
+        try:
+            record = page.peek(rid.slot)
+        finally:
+            page.latch.release(self.system.sim.current)
+        return record
+
+    # -- page management ---------------------------------------------------------
+
+    def _fetch_page(self, page_no: int):
+        if not 0 <= page_no < self.page_count:
+            raise RecordNotFoundError(
+                f"{self.name} has no page {page_no}")
+        page = yield from self.system.buffer.ensure_page(
+            self.page_id(page_no), self.page_capacity)
+        return page
+
+    def _pick_insert_slot(self, txn: "Transaction"):
+        """Find (page, slot) for a new record, append-style.
+
+        Tries the last page; allocates a new page when it is full.  The
+        chosen slot's lock is taken conditionally under the latch -- a
+        fresh slot's lock is always free unless a rolled-back deleter
+        still holds it, in which case we skip to a new page.
+        """
+        while True:
+            if self.page_count == 0:
+                page = yield from self._allocate_page()
+            else:
+                page = yield from self._fetch_page(self.page_count - 1)
+            yield Acquire(page.latch, EXCLUSIVE)
+            slot = page.free_slot()
+            if slot is not None:
+                rid = RID(page.page_id.page_no, slot)
+                granted = yield from txn.lock(
+                    self.lock_name(rid), "X", conditional=True)
+                page.latch.release(self.system.sim.current)
+                if granted:
+                    return page, slot
+                # Someone (an uncommitted deleter) still owns this slot's
+                # lock; extend the file instead of waiting under risk.
+                page_full = True
+            else:
+                page.latch.release(self.system.sim.current)
+                page_full = True
+            if page_full:
+                yield from self._allocate_page()
+
+    def _allocate_page(self):
+        page_no = self.page_count
+        page = yield from self.system.buffer.new_page(
+            self.page_id(page_no), self.page_capacity)
+        self.page_count += 1
+        self.system.metrics.incr("heap.pages_allocated")
+        return page
+
+    # -- audit access (not part of the simulation; no latching) --------------------
+
+    def audit_records(self) -> Iterator[tuple[RID, Record]]:
+        """Every live record, reading through the buffer pool's frames and
+        falling back to disk.  For verification code only."""
+        for page_no in range(self.page_count):
+            pid = self.page_id(page_no)
+            page = None
+            for frame in self.system.buffer.resident_pages():
+                if frame.page_id == pid:
+                    page = frame
+                    break
+            if page is None:
+                page = self.system.disk.read_page(pid)
+            if page is None:
+                continue
+            yield from page.live_records()
+
+    # -- recovery operations -----------------------------------------------------
+
+    def _register_operations(self) -> None:
+        ops = self.system.log.operations
+        if ops.knows("heap.put"):
+            return  # one registration per system, shared by all tables
+        ops.register("heap.put", redo=_redo_put)
+        ops.register("heap.clear", redo=_redo_clear)
+        ops.register("heap.insert", redo=_reject_redo, undo=_undo_insert)
+        ops.register("heap.delete", redo=_reject_redo, undo=_undo_delete)
+        ops.register("heap.update", redo=_reject_redo, undo=_undo_update)
+
+
+# -- redo handlers (called by restart recovery; generators) ---------------------
+
+
+def _redo_put(system: "System", record: LogRecord):
+    _op, args = record.redo
+    page = yield from system.buffer.ensure_page(
+        record.page_id, args["capacity"])
+    if page.page_lsn < record.lsn:
+        rid = args["rid"]
+        page.put(rid[1], Record(tuple(args["values"])))
+        system.buffer.mark_dirty(page, record.lsn)
+        system.metrics.incr("recovery.redos")
+
+
+def _redo_clear(system: "System", record: LogRecord):
+    _op, args = record.redo
+    page = yield from system.buffer.ensure_page(
+        record.page_id, args["capacity"])
+    if page.page_lsn < record.lsn:
+        rid = args["rid"]
+        page.clear(rid[1])
+        system.buffer.mark_dirty(page, record.lsn)
+        system.metrics.incr("recovery.redos")
+
+
+def _reject_redo(system: "System", record: LogRecord):  # pragma: no cover
+    raise AssertionError("undo payloads are never redone")
+
+
+# -- undo handlers (called by Transaction.rollback; generators) ------------------
+
+
+def _undo_insert(system: "System", txn: "Transaction", record: LogRecord):
+    _op, args = record.undo
+    table = system.tables[args["table"]]
+    rid = RID(*args["rid"])
+    page = yield from table._fetch_page(rid.page_no)
+    yield Acquire(page.latch, EXCLUSIVE)
+    try:
+        page.clear(rid.slot)
+    finally:
+        page.latch.release(system.sim.current)
+    yield from table.maintenance.on_undo(
+        txn, record, action="insert", rid=rid,
+        old_record=Record(tuple(args["values"])), new_record=None)
+    clr_redo = ("heap.clear", {"table": table.name, "rid": rid,
+                               "capacity": table.page_capacity})
+    return clr_redo, page
+
+
+def _undo_delete(system: "System", txn: "Transaction", record: LogRecord):
+    _op, args = record.undo
+    table = system.tables[args["table"]]
+    rid = RID(*args["rid"])
+    restored = Record(tuple(args["values"]))
+    page = yield from table._fetch_page(rid.page_no)
+    yield Acquire(page.latch, EXCLUSIVE)
+    try:
+        page.put(rid.slot, restored)
+    finally:
+        page.latch.release(system.sim.current)
+    yield from table.maintenance.on_undo(
+        txn, record, action="delete", rid=rid,
+        old_record=None, new_record=restored)
+    clr_redo = ("heap.put", {"table": table.name, "rid": rid,
+                             "values": restored.values,
+                             "capacity": table.page_capacity})
+    return clr_redo, page
+
+
+def _undo_update(system: "System", txn: "Transaction", record: LogRecord):
+    _op, args = record.undo
+    table = system.tables[args["table"]]
+    rid = RID(*args["rid"])
+    old = Record(tuple(args["old_values"]))
+    new = Record(tuple(args["new_values"]))
+    page = yield from table._fetch_page(rid.page_no)
+    yield Acquire(page.latch, EXCLUSIVE)
+    try:
+        page.put(rid.slot, old)
+    finally:
+        page.latch.release(system.sim.current)
+    yield from table.maintenance.on_undo(
+        txn, record, action="update", rid=rid,
+        old_record=new, new_record=old)
+    clr_redo = ("heap.put", {"table": table.name, "rid": rid,
+                             "values": old.values,
+                             "capacity": table.page_capacity})
+    return clr_redo, page

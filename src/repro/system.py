@@ -1,0 +1,158 @@
+"""The simulated DBMS: one object wiring every substrate together.
+
+A :class:`System` owns the discrete-event simulator, stable disk, WAL,
+buffer pool, lock manager, transaction manager, tables, indexes, and any
+in-progress index builds.  Experiments construct a System, populate a
+table, spawn transaction processes and an index-builder process, run the
+simulator, and read the metrics registry.
+
+Crash/restart: :meth:`crash` throws away volatile state (buffer pool, lock
+tables, unflushed log tail, in-memory index trees not yet forced) exactly
+as a power failure would; :func:`repro.recovery.restart.restart` then
+rebuilds a consistent state on a *new* System sharing the same Disk and
+stable log.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import StorageError
+from repro.metrics import MetricsRegistry
+from repro.sim.kernel import Simulator
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import Disk
+from repro.storage.table import Table
+from repro.txn.locks import LockManager
+from repro.txn.transaction import TransactionManager
+from repro.wal.manager import LogManager
+
+
+@dataclass
+class SystemConfig:
+    """Tunable sizes and simulated costs.
+
+    Defaults keep trees shallow and runs fast; experiments shrink page
+    capacities to force multi-level trees and multi-run sorts at laptop
+    scale (the DESIGN.md substitution for the paper's petabyte tables).
+    """
+
+    #: records per data page
+    page_capacity: int = 16
+    #: buffer pool frames
+    buffer_frames: int = 1024
+    #: key entries per B+-tree leaf page
+    leaf_capacity: int = 16
+    #: child pointers per B+-tree branch page
+    branch_capacity: int = 16
+    #: fraction of each leaf left free during a bulk build (section 2.2.3:
+    #: "The proper amount of desired free space ... is left in the leaf
+    #: pages")
+    fill_free_fraction: float = 0.0
+    #: simulated time for one record modify (CPU)
+    record_op_cost: float = 0.5
+    #: simulated time for one index key operation (CPU)
+    key_op_cost: float = 0.5
+    #: simulated time per key appended by the bottom-up bulk loader --
+    #: cheaper than key_op_cost because there is no traversal, latching or
+    #: per-key logging (sections 2.3.1 and 4)
+    bulk_load_key_cost: float = 0.05
+    #: simulated time charged per B+-tree page visited during a traversal
+    tree_visit_cost: float = 0.1
+    #: pages fetched per sequential prefetch I/O during IB's scan (§2.2.2)
+    prefetch_pages: int = 8
+    #: keys per multi-key insert call NSF's IB passes to the index manager
+    ib_batch_keys: int = 8
+    #: replacement-selection tournament-tree size (number of leaf slots)
+    sort_workspace: int = 64
+    #: maximum sorted runs merged in one pass
+    merge_fanin: int = 8
+
+
+class System:
+    """A complete simulated DBMS instance."""
+
+    def __init__(self, config: Optional[SystemConfig] = None,
+                 seed: int = 0, *,
+                 disk: Optional[Disk] = None,
+                 log: Optional[LogManager] = None) -> None:
+        self.config = config or SystemConfig()
+        self.metrics = MetricsRegistry()
+        self.rng = random.Random(seed)
+        self.sim = Simulator()
+        self.disk = disk if disk is not None else Disk(metrics=self.metrics)
+        # A disk carried over from a crashed system keeps its own metrics.
+        if disk is not None:
+            self.disk.metrics = self.metrics
+        self.log = log if log is not None else LogManager(metrics=self.metrics)
+        if log is not None:
+            self.log.metrics = self.metrics
+        self.buffer = BufferPool(self.disk, self.log,
+                                 capacity=self.config.buffer_frames,
+                                 metrics=self.metrics)
+        self.locks = LockManager(self.sim, metrics=self.metrics)
+        self.txns = TransactionManager(self)
+        self.tables: dict[str, Table] = {}
+        #: index name -> repro.core.descriptor.IndexDescriptor
+        self.indexes: dict[str, object] = {}
+        #: active index builds: table name -> list of BuildContext
+        self.builds: dict[str, list] = {}
+        #: side-files by index name
+        self.sidefiles: dict[str, object] = {}
+        #: sort-run stores by utility name; survive restart like side-files
+        self.run_stores: dict[str, object] = {}
+        #: components with volatile state beyond the standard set register
+        #: a callable here; :meth:`crash` invokes each one
+        self.crash_hooks: list = []
+
+    # -- catalog -------------------------------------------------------------
+
+    def create_table(self, name: str, columns: Sequence[str],
+                     page_capacity: Optional[int] = None) -> Table:
+        if name in self.tables:
+            raise StorageError(f"table {name!r} already exists")
+        table = Table(self, name, columns, page_capacity=page_capacity)
+        self.tables[name] = table
+        return table
+
+    # -- convenience ------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the simulator (delegates to :meth:`Simulator.run`)."""
+        self.sim.run(until=until)
+
+    def spawn(self, body, name: str = "proc"):
+        return self.sim.spawn(body, name=name)
+
+    def now(self) -> float:
+        return self.sim.now
+
+    # -- crash modelling -----------------------------------------------------------
+
+    def crash(self) -> tuple[Disk, LogManager]:
+        """Simulate a system failure.
+
+        Volatile state (buffer frames, latches, locks, live transactions,
+        index trees not yet persisted) is lost.  Returns the surviving
+        stable state ``(disk, log)`` for :func:`repro.recovery.restart.restart`.
+        """
+        self.buffer.crash()
+        self.log.crash()
+        for descriptor in self.indexes.values():
+            tree = getattr(descriptor, "tree", None)
+            if tree is not None:
+                tree.crash()
+        for sidefile in self.sidefiles.values():
+            sidefile.crash()
+        for store in self.run_stores.values():
+            store.crash()
+        for hook in self.crash_hooks:
+            hook()
+        self.metrics.incr("system.crashes")
+        return self.disk, self.log
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<System tables={list(self.tables)} "
+                f"indexes={list(self.indexes)} t={self.sim.now}>")

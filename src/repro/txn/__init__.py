@@ -1,0 +1,13 @@
+"""Transactions, locking, and Commit_LSN."""
+
+from repro.txn.locks import EXCLUSIVE, SHARE, LockManager
+from repro.txn.transaction import Transaction, TransactionManager, TxnState
+
+__all__ = [
+    "EXCLUSIVE",
+    "SHARE",
+    "LockManager",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+]

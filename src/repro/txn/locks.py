@@ -1,0 +1,245 @@
+"""Lock manager: S/X locks, conditional and instant requests, deadlocks.
+
+The paper assumes *data-only locking* as in ARIES/IM (section 6.2): lock
+names for keys are the same as the lock names for the records they derive
+from, so one record lock covers both the record and its index entries.
+Lock names here are arbitrary hashables -- ``("rec", table, rid)`` for
+records, ``("table", name)`` for the table-level locks used by NSF's
+descriptor-create quiesce (section 2.2.1) and by drop-index.
+
+Supported request flavours, all used by the algorithms:
+
+* unconditional -- wait until granted (deadlock detection applies);
+* conditional -- return False instead of waiting (section 2.2.4: "request a
+  conditional instant share lock on it");
+* instant duration -- granted and released immediately; only the *wait* has
+  an effect (commit-check idiom).
+
+Deadlock detection builds the waits-for graph on each blocking request and
+aborts the youngest transaction in any cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Hashable, Optional, TYPE_CHECKING
+
+import networkx as nx
+
+from repro.errors import DeadlockVictim, TransactionError
+from repro.metrics import MetricsRegistry
+from repro.sim.kernel import SimEvent, Simulator, Wait
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.txn.transaction import Transaction
+
+SHARE = "S"
+EXCLUSIVE = "X"
+INTENT_SHARE = "IS"
+INTENT_EXCLUSIVE = "IX"
+
+#: (held, requested) -> compatible?  Standard hierarchical-locking matrix;
+#: intent modes let NSF's table-level quiesce (an S lock on the table,
+#: section 2.2.1) wait out the IX locks every updating transaction holds.
+_COMPATIBLE = {
+    ("IS", "IS"): True, ("IS", "IX"): True,
+    ("IS", "S"): True, ("IS", "X"): False,
+    ("IX", "IS"): True, ("IX", "IX"): True,
+    ("IX", "S"): False, ("IX", "X"): False,
+    ("S", "IS"): True, ("S", "IX"): False,
+    ("S", "S"): True, ("S", "X"): False,
+    ("X", "IS"): False, ("X", "IX"): False,
+    ("X", "S"): False, ("X", "X"): False,
+}
+
+_STRENGTH = {"IS": 1, "IX": 2, "S": 2, "X": 3}
+
+_VICTIM_MARK = object()
+
+
+class _LockHead:
+    """State for one lock name: holders and FIFO wait queue."""
+
+    __slots__ = ("holders", "queue")
+
+    def __init__(self) -> None:
+        self.holders: dict["Transaction", str] = {}
+        self.queue: deque[tuple["Transaction", str, SimEvent, bool]] = deque()
+
+    def grantable(self, txn: "Transaction", mode: str) -> bool:
+        for holder, held_mode in self.holders.items():
+            if holder is txn:
+                continue
+            if not _COMPATIBLE[(held_mode, mode)]:
+                return False
+        return True
+
+    def grant(self, txn: "Transaction", mode: str) -> None:
+        self.holders[txn] = _union(self.holders.get(txn), mode)
+
+
+def _union(held: Optional[str], requested: str) -> str:
+    """The combined mode after a conversion grant."""
+    if held is None or held == requested:
+        return requested
+    if _STRENGTH[held] > _STRENGTH[requested]:
+        return held
+    if _STRENGTH[requested] > _STRENGTH[held]:
+        return requested
+    # Incomparable pair (IX + S = SIX); approximate as exclusive.
+    return EXCLUSIVE
+
+
+class LockManager:
+    """All lock state for one simulated system."""
+
+    def __init__(self, sim: Simulator,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.sim = sim
+        self.metrics = metrics or MetricsRegistry()
+        self._heads: dict[Hashable, _LockHead] = {}
+
+    # -- requests (generators; drive from a process) -----------------------
+
+    def lock(self, txn: "Transaction", name: Hashable, mode: str, *,
+             conditional: bool = False, instant: bool = False):
+        """Request ``name`` in ``mode`` for ``txn``.
+
+        Generator.  Returns True when granted.  A conditional request
+        returns False instead of waiting.  Raises
+        :class:`~repro.errors.DeadlockVictim` if this transaction is chosen
+        as a deadlock victim while waiting.
+        """
+        self.metrics.incr("lock.requests")
+        head = self._heads.setdefault(name, _LockHead())
+        already = head.holders.get(txn)
+        if already == EXCLUSIVE or already == mode:
+            return True  # re-request of held mode (or weaker)
+
+        if head.grantable(txn, mode) and not self._blocked_behind(head, txn):
+            if instant:
+                self.metrics.incr("lock.instant_grants")
+            else:
+                head.grant(txn, mode)
+                txn.held_locks.add(name)
+            return True
+
+        if conditional:
+            self.metrics.incr("lock.conditional_denials")
+            return False
+
+        # Must wait.
+        self.metrics.incr("lock.waits")
+        event = self.sim.event()
+        head.queue.append((txn, mode, event, instant))
+        txn.waiting_on = name
+        self._detect_deadlock(txn, name)
+        queued_at = self.sim.now
+        outcome = yield Wait(event)
+        txn.waiting_on = None
+        self.metrics.observe("lock.wait_time", self.sim.now - queued_at)
+        if outcome is _VICTIM_MARK:
+            raise DeadlockVictim(
+                f"transaction {txn.txn_id} chosen as deadlock victim "
+                f"waiting for {name!r}")
+        return True
+
+    def unlock(self, txn: "Transaction", name: Hashable) -> None:
+        """Release one lock early (used for short-duration latching idioms)."""
+        head = self._heads.get(name)
+        if head is None or txn not in head.holders:
+            raise TransactionError(
+                f"transaction {txn.txn_id} does not hold {name!r}")
+        del head.holders[txn]
+        txn.held_locks.discard(name)
+        self._drain(name, head)
+
+    def release_all(self, txn: "Transaction") -> None:
+        """Release every lock at commit/abort end (strict 2PL)."""
+        for name in list(txn.held_locks):
+            head = self._heads.get(name)
+            if head is not None and txn in head.holders:
+                del head.holders[txn]
+                self._drain(name, head)
+        txn.held_locks.clear()
+
+    # -- queue mechanics ------------------------------------------------------
+
+    def _blocked_behind(self, head: _LockHead, txn: "Transaction") -> bool:
+        """FIFO fairness: a new request may not overtake queued waiters.
+
+        A conversion by an existing holder is exempt (it must jump the
+        queue or it would deadlock with itself).
+        """
+        if txn in head.holders:
+            return False
+        return bool(head.queue)
+
+    def _drain(self, name: Hashable, head: _LockHead) -> None:
+        while head.queue:
+            txn, mode, event, instant = head.queue[0]
+            if not head.grantable(txn, mode):
+                break
+            head.queue.popleft()
+            if not instant:
+                head.grant(txn, mode)
+                txn.held_locks.add(name)
+            event.set(True)
+        if not head.holders and not head.queue:
+            self._heads.pop(name, None)
+
+    # -- deadlock detection ------------------------------------------------------
+
+    def _detect_deadlock(self, requester: "Transaction",
+                         name: Hashable) -> None:
+        graph = self._waits_for_graph()
+        if requester.txn_id not in graph:
+            return
+        try:
+            cycle = nx.find_cycle(graph, source=requester.txn_id)
+        except nx.NetworkXNoCycle:
+            return
+        members = {edge[0] for edge in cycle} | {edge[1] for edge in cycle}
+        victim_id = max(members)  # youngest transaction dies
+        self.metrics.incr("lock.deadlocks")
+        self._abort_waiter(victim_id)
+
+    def _waits_for_graph(self) -> "nx.DiGraph":
+        graph = nx.DiGraph()
+        for head in self._heads.values():
+            earlier: list[tuple["Transaction", str]] = []
+            for waiter, mode, _event, _instant in head.queue:
+                for holder, held_mode in head.holders.items():
+                    if holder is not waiter \
+                            and not _COMPATIBLE[(held_mode, mode)]:
+                        graph.add_edge(waiter.txn_id, holder.txn_id)
+                # FIFO: a waiter also waits behind earlier incompatible
+                # requests in the same queue.
+                for ahead, ahead_mode in earlier:
+                    if ahead is not waiter \
+                            and not _COMPATIBLE[(ahead_mode, mode)]:
+                        graph.add_edge(waiter.txn_id, ahead.txn_id)
+                earlier.append((waiter, mode))
+        return graph
+
+    def _abort_waiter(self, victim_id: int) -> None:
+        for head in self._heads.values():
+            for entry in list(head.queue):
+                txn, _mode, event, _instant = entry
+                if txn.txn_id == victim_id:
+                    head.queue.remove(entry)
+                    event.set(_VICTIM_MARK)
+                    return
+        raise TransactionError(  # pragma: no cover - cycle implies a waiter
+            f"deadlock victim {victim_id} not found waiting")
+
+    # -- introspection ----------------------------------------------------------
+
+    def holders(self, name: Hashable) -> dict[int, str]:
+        head = self._heads.get(name)
+        if head is None:
+            return {}
+        return {txn.txn_id: mode for txn, mode in head.holders.items()}
+
+    def is_locked(self, name: Hashable) -> bool:
+        return bool(self._heads.get(name) and self._heads[name].holders)

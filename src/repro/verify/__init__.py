@@ -1,0 +1,5 @@
+"""Consistency audits for indexes, tables, and trees."""
+
+from repro.verify.consistency import ConsistencyError, audit_all, audit_index
+
+__all__ = ["ConsistencyError", "audit_all", "audit_index"]

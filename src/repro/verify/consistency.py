@@ -1,0 +1,79 @@
+"""Index <-> table consistency audits.
+
+Section 2.1.1's whole point is that a missed or spurious key "would
+introduce an inconsistency between the table and the index data".  Every
+test and experiment finishes by auditing exactly that:
+
+* each live record contributes exactly one ``<key value, RID>`` per index;
+* the index contains no live entry without a matching record;
+* a unique index maps each key value to at most one live entry;
+* the tree itself passes the structural audit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.btree.audit import audit_tree
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.descriptor import IndexDescriptor
+    from repro.system import System
+
+
+class ConsistencyError(ReproError):
+    """An index disagrees with its table."""
+
+
+def audit_index(system: "System", descriptor: "IndexDescriptor") -> dict:
+    """Verify one index against its table; returns summary statistics."""
+    tree_stats = audit_tree(descriptor.tree)
+    table = descriptor.table
+    expected = set()
+    for rid, record in table.audit_records():
+        expected.add((descriptor.key_of(record), rid))
+    actual = set()
+    for entry in descriptor.tree.all_entries():
+        item = (entry.key_value, entry.rid)
+        if item in actual:
+            raise ConsistencyError(
+                f"{descriptor.name}: duplicate live entry {item!r}")
+        actual.add(item)
+    missing = expected - actual
+    spurious = actual - expected
+    if missing or spurious:
+        raise ConsistencyError(
+            f"{descriptor.name}: index/table mismatch -- "
+            f"{len(missing)} missing (e.g. {_sample(missing)}), "
+            f"{len(spurious)} spurious (e.g. {_sample(spurious)})")
+    if descriptor.unique:
+        key_values = [key for key, _rid in actual]
+        if len(key_values) != len(set(key_values)):
+            raise ConsistencyError(
+                f"{descriptor.name}: unique index holds duplicate key "
+                f"values")
+    pseudo = descriptor.tree.key_count(include_pseudo_deleted=True) \
+        - descriptor.tree.key_count()
+    return {
+        "entries": len(actual),
+        "pseudo_deleted": pseudo,
+        "leaves": tree_stats.get("leaves", 0),
+        "height": tree_stats.get("height", 0),
+        "clustering": descriptor.tree.clustering_factor(),
+    }
+
+
+def audit_all(system: "System") -> dict:
+    """Audit every AVAILABLE index in the system."""
+    from repro.core.descriptor import IndexState
+
+    reports = {}
+    for name, descriptor in system.indexes.items():
+        if descriptor.state is IndexState.AVAILABLE:
+            reports[name] = audit_index(system, descriptor)
+    return reports
+
+
+def _sample(items: set, limit: int = 3) -> list:
+    return sorted(items)[:limit]

@@ -1,0 +1,6 @@
+"""Write-ahead logging (WAL) substrate."""
+
+from repro.wal.manager import LogManager
+from repro.wal.records import LogRecord, OperationRegistry, RecordKind
+
+__all__ = ["LogManager", "LogRecord", "OperationRegistry", "RecordKind"]

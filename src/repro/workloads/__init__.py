@@ -1,0 +1,5 @@
+"""Workload generation for online index-build experiments."""
+
+from repro.workloads.generator import OpRecord, WorkloadDriver, WorkloadSpec
+
+__all__ = ["OpRecord", "WorkloadDriver", "WorkloadSpec"]

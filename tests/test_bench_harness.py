@@ -1,0 +1,76 @@
+"""Tests for the benchmark harness (repro.bench) and table rendering."""
+
+import pytest
+
+from repro.bench import (
+    BuildRunResult,
+    bench_config,
+    print_table,
+    run_build_experiment,
+)
+from repro.bench.harness import format_table
+from repro.core import BuildOptions, IndexSpec
+
+
+def test_bench_config_overrides():
+    config = bench_config(leaf_capacity=3)
+    assert config.leaf_capacity == 3
+    assert config.page_capacity == 8  # default kept
+
+
+def test_run_build_experiment_offline_quiet():
+    result = run_build_experiment("offline", rows=60, seed=1)
+    assert result.algorithm == "offline"
+    assert result.build_time > 0
+    assert result.counter("index.inserts.bulk") == 60
+    assert result.clustering_at_build_end["idx"] == 1.0
+    assert result.driver is None
+    assert result.longest_stall() == 0.0
+
+
+def test_run_build_experiment_with_workload():
+    result = run_build_experiment("sf", rows=80, operations=10,
+                                  workers=2, seed=2)
+    assert result.driver is not None
+    assert result.counter("workload.committed") > 0
+    assert result.quiesce_wait == 0.0
+
+
+def test_run_build_experiment_options_flow_through():
+    result = run_build_experiment(
+        "nsf", rows=80, seed=3,
+        options=BuildOptions(ib_batch_keys=2, commit_every_keys=16))
+    assert result.counter("build.ib_commits") >= 3
+
+
+def test_run_build_experiment_multi_spec():
+    specs = [IndexSpec.of("a", ["k"]), IndexSpec.of("b", ["p"])]
+    result = run_build_experiment("sf", rows=50, seed=4,
+                                  index_specs=specs)
+    assert set(result.clustering_at_build_end) == {"a", "b"}
+
+
+def test_format_table_alignment_and_note():
+    text = format_table("T", ["col", "n"], [["a", 1], ["bbbb", 22.5]],
+                        note="hello")
+    lines = text.splitlines()
+    assert lines[0] == "== T =="
+    assert "col" in lines[1] and "n" in lines[1]
+    assert lines[-1] == "note: hello"
+    # float formatting to 2 decimals
+    assert "22.50" in text
+
+
+def test_print_table_records_for_summary(capsys):
+    from repro.bench.harness import RENDERED_TABLES
+    before = len(RENDERED_TABLES)
+    print_table("X", ["a"], [[1]])
+    out = capsys.readouterr().out
+    assert "== X ==" in out
+    assert len(RENDERED_TABLES) == before + 1
+    RENDERED_TABLES.pop()  # keep the session list tidy
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(KeyError):
+        run_build_experiment("nope", rows=10)

@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for B+-tree invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.btree import BTree, BulkLoader, IBCursor, audit_tree
+from repro.storage import RID
+from repro.system import System, SystemConfig
+
+
+def fresh_tree(unique=False, leaf_capacity=4):
+    system = System(SystemConfig(leaf_capacity=leaf_capacity,
+                                 branch_capacity=4))
+    system.create_table("t", ["k", "v"])
+    tree = BTree(system, "idx", "t", unique=unique)
+    return system, tree
+
+
+def run_txn(system, gen_fn):
+    def body():
+        txn = system.txns.begin()
+        result = yield from gen_fn(txn)
+        yield from txn.commit()
+        return result
+
+    proc = system.spawn(body(), name="prop")
+    system.run()
+    if proc.error is not None:
+        raise proc.error
+    return proc.result
+
+
+keys_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=200),
+              st.tuples(st.integers(0, 20), st.integers(0, 15))),
+    min_size=0, max_size=120)
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys=keys_strategy)
+def test_insert_keeps_tree_sorted_and_balanced(keys):
+    system, tree = fresh_tree()
+
+    def work(txn):
+        for kv, rid in keys:
+            yield from tree.txn_insert_key(txn, kv, RID(*rid),
+                                           during_build=True)
+
+    run_txn(system, work)
+    audit_tree(tree)
+    expected = {(kv, RID(*rid)) for kv, rid in keys}
+    got = {(e.key_value, e.rid) for e in tree.all_entries()}
+    assert got == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys=keys_strategy, data=st.data())
+def test_insert_then_delete_subset_leaves_complement(keys, data):
+    unique_keys = list({(kv, RID(*rid)) for kv, rid in keys})
+    unique_keys.sort()
+    to_delete = data.draw(st.sets(
+        st.sampled_from(unique_keys) if unique_keys else st.nothing(),
+        max_size=len(unique_keys))) if unique_keys else set()
+    system, tree = fresh_tree()
+
+    def work(txn):
+        for kv, rid in unique_keys:
+            yield from tree.txn_insert_key(txn, kv, rid, during_build=True)
+        for kv, rid in to_delete:
+            yield from tree.txn_delete_key(txn, kv, rid, during_build=True)
+
+    run_txn(system, work)
+    audit_tree(tree)
+    live = {(e.key_value, e.rid) for e in tree.all_entries()}
+    assert live == set(unique_keys) - set(to_delete)
+    # pseudo-deleted entries remain physically present
+    physical = {(e.key_value, e.rid)
+                for e in tree.all_entries(include_pseudo_deleted=True)}
+    assert physical == set(unique_keys)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=0, max_value=300),
+       leaf_capacity=st.integers(min_value=2, max_value=9))
+def test_bulk_load_equals_sorted_input(n, leaf_capacity):
+    system, tree = fresh_tree(leaf_capacity=leaf_capacity)
+    loader = BulkLoader(tree)
+    for k in range(n):
+        loader.append(k, RID(k // 16, k % 16))
+    loader.finish()
+    audit_tree(tree)
+    assert [e.key_value for e in tree.all_entries()] == list(range(n))
+    assert tree.clustering_factor() == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=keys_strategy)
+def test_ib_batch_agrees_with_single_inserts(keys):
+    """The multi-key IB interface must produce the same logical contents
+    as one-at-a-time transaction inserts of the same key set."""
+    key_set = sorted({(kv, RID(*rid)) for kv, rid in keys})
+
+    system_a, tree_a = fresh_tree()
+
+    def work_a(txn):
+        count = yield from tree_a.ib_insert_batch(
+            txn, [(kv, tuple(rid)) for kv, rid in key_set], IBCursor())
+        return count
+
+    run_txn(system_a, work_a)
+
+    system_b, tree_b = fresh_tree()
+
+    def work_b(txn):
+        for kv, rid in key_set:
+            yield from tree_b.txn_insert_key(txn, kv, rid,
+                                             during_build=True)
+
+    run_txn(system_b, work_b)
+    audit_tree(tree_a)
+    audit_tree(tree_b)
+    a = [(e.key_value, e.rid) for e in tree_a.all_entries()]
+    b = [(e.key_value, e.rid) for e in tree_b.all_entries()]
+    assert a == b == key_set
+
+
+@settings(max_examples=30, deadline=None)
+@given(split_at=st.integers(min_value=0, max_value=99))
+def test_force_crash_resume_roundtrip(split_at):
+    """Checkpoint at an arbitrary point, crash, resume: final tree equals
+    an uninterrupted build (section 3.2.4)."""
+    system, tree = fresh_tree(leaf_capacity=4)
+    loader = BulkLoader(tree)
+    for k in range(split_at):
+        loader.append(k, RID(0, k % 16))
+    tree.force()
+    for k in range(split_at, 100):
+        loader.append(k, RID(0, k % 16))
+    tree.crash()
+    loader = BulkLoader.resume(tree)
+    for k in range(split_at, 100):
+        loader.append(k, RID(0, k % 16))
+    loader.finish()
+    audit_tree(tree)
+    assert [e.key_value for e in tree.all_entries()] == list(range(100))

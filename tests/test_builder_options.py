@@ -1,0 +1,188 @@
+"""Tests for builder options: parallel readers, fill factor, checkpoint
+intervals, side-file sorting, and drain-phase crashes."""
+
+import pytest
+
+from repro.core import (
+    BuildOptions,
+    IndexSpec,
+    NSFIndexBuilder,
+    OfflineIndexBuilder,
+    SFIndexBuilder,
+    build_pre_undo,
+    resume_build,
+)
+from repro.recovery import restart, run_until_crash
+from repro.system import System, SystemConfig
+from repro.verify import audit_index
+from repro.workloads import WorkloadDriver, WorkloadSpec
+
+
+def drive(system, body, name="driver"):
+    proc = system.spawn(body, name=name)
+    system.run()
+    if proc.error is not None:
+        raise proc.error
+    return proc.result
+
+
+def stage(seed=3, rows=300, operations=0, config=None):
+    system = System(config or SystemConfig(page_capacity=8,
+                                           leaf_capacity=8,
+                                           sort_workspace=16,
+                                           merge_fanin=4), seed=seed)
+    table = system.create_table("t", ["k", "p"])
+    spec = WorkloadSpec(operations=operations, workers=2, think_time=0.8,
+                        rollback_fraction=0.15)
+    driver = WorkloadDriver(system, table, spec, seed=seed)
+    drive(system, driver.preload(rows), name="preload")
+    return system, table, driver
+
+
+def run_build(system, table, driver, builder_cls, options,
+              operations=0):
+    builder = builder_cls(system, table, IndexSpec.of("idx", ["k"]),
+                          options=options)
+    proc = system.spawn(builder.run(), name="builder")
+    if operations:
+        driver.spawn_workers()
+    system.run()
+    if proc.error is not None:
+        raise proc.error
+    return builder
+
+
+@pytest.mark.parametrize("builder_cls", [NSFIndexBuilder,
+                                         OfflineIndexBuilder])
+def test_parallel_readers_produce_identical_index(builder_cls):
+    contents = []
+    for readers in (1, 4):
+        system, table, driver = stage()
+        run_build(system, table, driver, builder_cls,
+                  BuildOptions(parallel_readers=readers))
+        audit_index(system, system.indexes["idx"])
+        contents.append(sorted(
+            (e.key_value, e.rid)
+            for e in system.indexes["idx"].tree.all_entries()))
+    assert contents[0] == contents[1]
+
+
+def test_parallel_readers_shorten_scan():
+    durations = {}
+    for readers in (1, 4):
+        system, table, driver = stage(
+            rows=600,
+            config=SystemConfig(page_capacity=8, leaf_capacity=8,
+                                sort_workspace=16, merge_fanin=4,
+                                buffer_frames=16))
+        builder = run_build(system, table, driver, NSFIndexBuilder,
+                            BuildOptions(parallel_readers=readers,
+                                         prefetch_pages=4))
+        durations[readers] = (builder.timings["scan_done"]
+                              - builder.timings["descriptor_done"])
+    assert durations[4] < durations[1] / 2
+
+
+def test_parallel_readers_under_workload_consistent():
+    system, table, driver = stage(operations=40)
+    run_build(system, table, driver, NSFIndexBuilder,
+              BuildOptions(parallel_readers=3), operations=40)
+    audit_index(system, system.indexes["idx"])
+
+
+def test_fill_factor_leaves_headroom():
+    system, table, driver = stage()
+    run_build(system, table, driver, SFIndexBuilder,
+              BuildOptions(fill_free_fraction=0.5))
+    tree = system.indexes["idx"].tree
+    for leaf in tree.leaf_chain():
+        assert len(leaf.entries) <= tree.leaf_capacity // 2 + 1
+    audit_index(system, system.indexes["idx"])
+
+
+def test_fill_factor_costs_pages():
+    pages = {}
+    for fraction in (0.0, 0.5):
+        system, table, driver = stage()
+        run_build(system, table, driver, SFIndexBuilder,
+                  BuildOptions(fill_free_fraction=fraction))
+        pages[fraction] = system.indexes["idx"].tree.page_count
+    assert pages[0.5] > pages[0.0] * 1.5
+
+
+def test_scan_checkpoint_interval_counts():
+    counts = {}
+    for every in (8, 32):
+        system, table, driver = stage(rows=320)  # 40 pages
+        run_build(system, table, driver, SFIndexBuilder,
+                  BuildOptions(checkpoint_every_pages=every))
+        counts[every] = system.metrics.get("build.scan_checkpoints")
+    assert counts[8] >= 3           # checkpoints actually happen
+    assert counts[8] > counts[32]   # tighter interval -> more of them
+
+
+def test_sort_sidefile_option_consistent_with_sequential():
+    results = []
+    for sort_sidefile in (False, True):
+        system, table, driver = stage(seed=17, operations=50)
+        run_build(system, table, driver, SFIndexBuilder,
+                  BuildOptions(sort_sidefile=sort_sidefile),
+                  operations=50)
+        audit_index(system, system.indexes["idx"])
+        results.append(sorted(
+            (e.key_value, e.rid)
+            for e in system.indexes["idx"].tree.all_entries()))
+    assert results[0] == results[1]
+
+
+def test_sf_drain_phase_crash_and_resume():
+    """Crash specifically inside the side-file drain, resume, audit."""
+    config = SystemConfig(page_capacity=8, leaf_capacity=8,
+                          sort_workspace=16, merge_fanin=4)
+    system = System(config, seed=23)
+    table = system.create_table("t", ["k", "p"])
+    spec = WorkloadSpec(operations=80, workers=3, think_time=0.4,
+                        rollback_fraction=0.15)
+    driver = WorkloadDriver(system, table, spec, seed=23)
+    drive(system, driver.preload(400), name="preload")
+
+    options = BuildOptions(checkpoint_every_pages=16,
+                           checkpoint_every_keys=24)
+    builder = SFIndexBuilder(system, table, IndexSpec.of("idx", ["k"]),
+                             options=options)
+    system.spawn(builder.run(), name="builder")
+    driver.spawn_workers()
+
+    # run until the drain phase has checkpointed at least once
+    drained_phase_seen = False
+    for _ in range(400):
+        system.run(until=system.now() + 10)
+        checkpoint = system.log.latest_checkpoint()
+        if checkpoint is not None and checkpoint.info.get(
+                "utility_state", {}).get("phase") == "drain":
+            drained_phase_seen = True
+            break
+        if system.sim.live_processes == 0:
+            break
+    if not drained_phase_seen:
+        pytest.skip("drain finished before a drain checkpoint this seed")
+    system.run(until=system.now() + 5)
+    system.crash()
+    recovered, state = restart(system, pre_undo=build_pre_undo)
+    assert state.get("phase") in ("drain", "done")
+    resumed = resume_build(recovered, state)
+    if resumed is not None:
+        proc = recovered.spawn(resumed.run(), name="resumed")
+        recovered.run()
+        assert proc.error is None
+    audit_index(recovered, recovered.indexes["idx"])
+
+
+def test_commit_interval_controls_ib_commits():
+    counts = {}
+    for commit_every in (32, 256):
+        system, table, driver = stage(rows=400)
+        run_build(system, table, driver, NSFIndexBuilder,
+                  BuildOptions(commit_every_keys=commit_every))
+        counts[commit_every] = system.metrics.get("build.ib_commits")
+    assert counts[32] > counts[256]

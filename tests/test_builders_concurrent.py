@@ -1,0 +1,155 @@
+"""Integration tests: index builds under concurrent update transactions.
+
+These are the paper's headline scenarios: IB races against inserts,
+deletes, updates, and rollbacks, and the final index must exactly match
+the table (E7).
+"""
+
+import pytest
+
+from repro.core import (
+    IndexSpec,
+    IndexState,
+    NSFIndexBuilder,
+    SFIndexBuilder,
+    cleanup_pseudo_deleted,
+)
+from repro.system import System, SystemConfig
+from repro.verify import audit_index
+from repro.workloads import WorkloadDriver, WorkloadSpec
+
+
+def small_config():
+    return SystemConfig(page_capacity=8, leaf_capacity=8,
+                        branch_capacity=8, sort_workspace=16,
+                        merge_fanin=4)
+
+
+def build_under_load(builder_cls, seed, *, preload=150, operations=60,
+                     workers=3, rollback_fraction=0.15, unique=False,
+                     key_space=100_000, spec_kwargs=None):
+    system = System(small_config(), seed=seed)
+    table = system.create_table("t", ["k", "p"])
+    spec = WorkloadSpec(operations=operations, workers=workers,
+                        rollback_fraction=rollback_fraction,
+                        key_space=key_space, think_time=1.0,
+                        **(spec_kwargs or {}))
+    driver = WorkloadDriver(system, table, spec, seed=seed)
+    pre = system.spawn(driver.preload(preload), name="preload")
+    system.run()
+    assert pre.error is None
+
+    builder = builder_cls(system, table,
+                          IndexSpec.of("idx", ["k"], unique=unique))
+    build_proc = system.spawn(builder.run(), name="builder")
+    workers_procs = driver.spawn_workers()
+    system.run()
+    if build_proc.error is not None:
+        raise build_proc.error
+    for proc in workers_procs:
+        if proc.error is not None:
+            raise proc.error
+    return system, driver, builder
+
+
+@pytest.mark.parametrize("builder_cls", [NSFIndexBuilder, SFIndexBuilder])
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_build_under_concurrent_updates_is_consistent(builder_cls, seed):
+    system, driver, _builder = build_under_load(builder_cls, seed)
+    descriptor = system.indexes["idx"]
+    assert descriptor.state is IndexState.AVAILABLE
+    audit_index(system, descriptor)
+    # the workload actually did something meaningful
+    assert system.metrics.get("workload.committed") > 50
+    assert system.metrics.get("workload.rolledback") > 0
+
+
+@pytest.mark.parametrize("builder_cls", [NSFIndexBuilder, SFIndexBuilder])
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_unique_build_under_disjoint_inserts(builder_cls, seed):
+    """Concurrent inserts with a huge key space (no accidental duplicate
+    key values) must not produce spurious unique-violation errors
+    (section 6.1)."""
+    system, driver, _builder = build_under_load(
+        builder_cls, seed, unique=True, key_space=10_000_000,
+        spec_kwargs={"key_change_fraction": 0.0,
+                     "update_weight": 0.0})
+    audit_index(system, system.indexes["idx"])
+
+
+@pytest.mark.parametrize("seed", [21, 22])
+def test_sf_sidefile_receives_behind_scan_changes(seed):
+    system, driver, builder = build_under_load(
+        SFIndexBuilder, seed, operations=80)
+    assert system.metrics.get("sidefile.appends") > 0
+    assert system.metrics.get("build.sidefile_drained") \
+        == system.metrics.get("sidefile.appends")
+    audit_index(system, system.indexes["idx"])
+
+
+@pytest.mark.parametrize("seed", [31, 32])
+def test_nsf_duplicate_and_tombstone_machinery_fires(seed):
+    system, driver, builder = build_under_load(
+        NSFIndexBuilder, seed, operations=100, workers=4,
+        rollback_fraction=0.25)
+    # Races actually happened: at least some tombstones or rejections.
+    hits = (system.metrics.get("index.tombstone_inserts")
+            + system.metrics.get("index.duplicate_rejections.ib")
+            + system.metrics.get("index.pseudo_deletes"))
+    assert hits > 0
+    audit_index(system, system.indexes["idx"])
+
+
+def test_nsf_cleanup_after_build_removes_tombstones():
+    system, driver, _builder = build_under_load(
+        NSFIndexBuilder, seed=41, operations=80, rollback_fraction=0.3)
+    descriptor = system.indexes["idx"]
+    tree = descriptor.tree
+    before = tree.key_count(include_pseudo_deleted=True) - tree.key_count()
+    proc = system.spawn(cleanup_pseudo_deleted(system, descriptor),
+                        name="gc")
+    system.run()
+    assert proc.error is None
+    after = tree.key_count(include_pseudo_deleted=True) - tree.key_count()
+    assert after == 0
+    assert proc.result == before
+    audit_index(system, descriptor)
+
+
+def test_sf_never_quiesces_nsf_quiesces_briefly():
+    _sys_sf, driver_sf, builder_sf = build_under_load(SFIndexBuilder, 51)
+    sys_nsf, driver_nsf, builder_nsf = build_under_load(NSFIndexBuilder, 51)
+    sf_wait = _sys_sf.metrics.stat("build.quiesce_wait").maximum
+    nsf_hold = sys_nsf.metrics.stat("build.quiesce_hold").maximum
+    assert sf_wait == 0.0
+    assert nsf_hold >= 0.0
+    # NSF's quiesce covers only descriptor creation, far below build time.
+    build_time = builder_nsf.timings["done"] - builder_nsf.timings["start"]
+    assert nsf_hold < build_time / 10
+
+
+@pytest.mark.parametrize("seed", [61, 62])
+def test_multi_index_build_under_load(seed):
+    """Section 6.2: two indexes in one scan, while updates run."""
+    system = System(small_config(), seed=seed)
+    table = system.create_table("t", ["k", "p"])
+    spec = WorkloadSpec(operations=40, workers=2, rollback_fraction=0.1,
+                        think_time=1.0)
+    driver = WorkloadDriver(system, table, spec, seed=seed)
+    pre = system.spawn(driver.preload(120), name="preload")
+    system.run()
+    assert pre.error is None
+
+    builder = SFIndexBuilder(system, table, [
+        IndexSpec.of("idx_k", ["k"]),
+        IndexSpec.of("idx_p", ["p"]),
+    ])
+    proc = system.spawn(builder.run(), name="builder")
+    worker_procs = driver.spawn_workers()
+    system.run()
+    if proc.error is not None:
+        raise proc.error
+    for wproc in worker_procs:
+        assert wproc.error is None
+    audit_index(system, system.indexes["idx_k"])
+    audit_index(system, system.indexes["idx_p"])

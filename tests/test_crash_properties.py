@@ -1,0 +1,61 @@
+"""Property test: crash at a random instant, restart, resume, audit.
+
+This is the sweep that found the empty-leaf fence bug and the IB
+WAL-ordering bug during development; it stays as a permanent tripwire.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import (
+    BuildOptions,
+    IndexSpec,
+    NSFIndexBuilder,
+    SFIndexBuilder,
+    build_pre_undo,
+    resume_build,
+)
+from repro.recovery import restart, run_until_crash
+from repro.system import System, SystemConfig
+from repro.verify import audit_index
+from repro.workloads import WorkloadDriver, WorkloadSpec
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    algorithm=st.sampled_from(["nsf", "sf"]),
+    seed=st.integers(min_value=0, max_value=1_000),
+    crash_after=st.floats(min_value=1.0, max_value=600.0),
+)
+def test_crash_anywhere_resume_consistent(algorithm, seed, crash_after):
+    system = System(SystemConfig(page_capacity=8, leaf_capacity=8,
+                                 sort_workspace=16, merge_fanin=4),
+                    seed=seed)
+    table = system.create_table("t", ["k", "p"])
+    spec = WorkloadSpec(operations=25, workers=2, think_time=1.0,
+                        rollback_fraction=0.2)
+    driver = WorkloadDriver(system, table, spec, seed=seed)
+    pre = system.spawn(driver.preload(200), name="preload")
+    system.run()
+    assert pre.error is None
+
+    builder_cls = {"nsf": NSFIndexBuilder, "sf": SFIndexBuilder}[algorithm]
+    options = BuildOptions(checkpoint_every_pages=8,
+                           checkpoint_every_keys=48,
+                           commit_every_keys=24)
+    builder = builder_cls(system, table, IndexSpec.of("idx", ["k"]),
+                          options=options)
+    system.spawn(builder.run(), name="builder")
+    driver.spawn_workers()
+    run_until_crash(system, system.now() + crash_after)
+
+    recovered, state = restart(system, pre_undo=build_pre_undo)
+    resumed = resume_build(recovered, state)
+    if resumed is not None:
+        proc = recovered.spawn(resumed.run(), name="resumed")
+        recovered.run()
+        if proc.error is not None:
+            raise proc.error
+    descriptor = recovered.indexes.get("idx")
+    if descriptor is not None:
+        audit_index(recovered, descriptor)

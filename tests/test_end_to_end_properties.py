@@ -1,0 +1,56 @@
+"""System-level property test: random build schedules stay consistent.
+
+One property subsumes most of the paper's correctness surface: *any*
+combination of algorithm, workload shape, rollback rate, and seed must
+end with every built index exactly matching its table. Hypothesis
+explores the space; shrinking gives a minimal failing schedule if a race
+slips through.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import IndexSpec, NSFIndexBuilder, SFIndexBuilder
+from repro.system import System, SystemConfig
+from repro.verify import audit_index
+from repro.workloads import WorkloadDriver, WorkloadSpec
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    algorithm=st.sampled_from(["nsf", "sf"]),
+    seed=st.integers(min_value=0, max_value=10_000),
+    preload=st.integers(min_value=0, max_value=150),
+    operations=st.integers(min_value=0, max_value=40),
+    workers=st.integers(min_value=1, max_value=4),
+    rollback_fraction=st.floats(min_value=0.0, max_value=0.5),
+    key_space=st.sampled_from([20, 1_000, 1_000_000]),
+    think_time=st.floats(min_value=0.0, max_value=2.0),
+)
+def test_any_schedule_yields_consistent_index(algorithm, seed, preload,
+                                              operations, workers,
+                                              rollback_fraction,
+                                              key_space, think_time):
+    system = System(SystemConfig(page_capacity=4, leaf_capacity=4,
+                                 branch_capacity=4, sort_workspace=8,
+                                 merge_fanin=3), seed=seed)
+    table = system.create_table("t", ["k", "p"])
+    spec = WorkloadSpec(operations=operations, workers=workers,
+                        rollback_fraction=rollback_fraction,
+                        key_space=key_space, think_time=think_time)
+    driver = WorkloadDriver(system, table, spec, seed=seed)
+    pre = system.spawn(driver.preload(preload), name="preload")
+    system.run()
+    assert pre.error is None
+
+    builder_cls = {"nsf": NSFIndexBuilder, "sf": SFIndexBuilder}[algorithm]
+    builder = builder_cls(system, table, IndexSpec.of("idx", ["k"]))
+    proc = system.spawn(builder.run(), name="builder")
+    if operations:
+        driver.spawn_workers()
+    system.run()
+    if proc.error is not None:
+        raise proc.error
+    audit_index(system, system.indexes["idx"])
+    # the simulator fully drained: no stuck process remains
+    assert system.sim.live_processes == 0

@@ -1,0 +1,271 @@
+"""Unit tests for the lock manager (repro.txn.locks)."""
+
+import pytest
+
+from repro.errors import DeadlockVictim, TransactionError
+from repro.sim import Delay
+from repro.system import System
+
+
+def drive_all(system, bodies):
+    procs = [system.spawn(body, name=f"p{i}")
+             for i, body in enumerate(bodies)]
+    system.run()
+    for proc in procs:
+        if proc.error is not None:
+            raise proc.error
+    return procs
+
+
+def test_shared_locks_coexist():
+    system = System()
+    granted = []
+
+    def reader(tag):
+        txn = system.txns.begin(tag)
+        ok = yield from txn.lock("r1", "S")
+        granted.append((tag, system.now(), ok))
+        yield Delay(5)
+        yield from txn.commit()
+
+    drive_all(system, [reader("a"), reader("b")])
+    assert [(t, ok) for t, _time, ok in granted] == [("a", True),
+                                                     ("b", True)]
+    assert granted[0][1] == granted[1][1] == 0
+
+
+def test_exclusive_waits_for_share():
+    system = System()
+    events = []
+
+    def reader():
+        txn = system.txns.begin("r")
+        yield from txn.lock("r1", "S")
+        yield Delay(10)
+        yield from txn.commit()
+        events.append(("r-done", system.now()))
+
+    def writer():
+        yield Delay(1)
+        txn = system.txns.begin("w")
+        yield from txn.lock("r1", "X")
+        events.append(("w-granted", system.now()))
+        yield from txn.commit()
+
+    drive_all(system, [reader(), writer()])
+    assert events[0][0] == "r-done"
+    assert events[1][1] >= events[0][1]
+
+
+def test_intent_locks_matrix():
+    """IX-IX compatible, IX-S incompatible -- the quiesce mechanism."""
+    system = System()
+    events = []
+
+    def updater(tag, hold):
+        txn = system.txns.begin(tag)
+        yield from txn.lock(("table", "t"), "IX")
+        events.append((tag, "ix", system.now()))
+        yield Delay(hold)
+        yield from txn.commit()
+
+    def quiescer():
+        yield Delay(1)
+        txn = system.txns.begin("q")
+        yield from txn.lock(("table", "t"), "S")
+        events.append(("q", "s", system.now()))
+        yield Delay(2)
+        yield from txn.commit()
+
+    def late_updater():
+        yield Delay(2)
+        txn = system.txns.begin("late")
+        yield from txn.lock(("table", "t"), "IX")
+        events.append(("late", "ix", system.now()))
+        yield from txn.commit()
+
+    drive_all(system, [updater("u1", 10), updater("u2", 10),
+                       quiescer(), late_updater()])
+    times = {tag: t for tag, _m, t in events}
+    assert times["u1"] == times["u2"] == 0      # IX + IX coexist
+    assert times["q"] >= 10                     # S waits out both IX
+    assert times["late"] >= times["q"] + 2      # IX queues behind S
+
+
+def test_conditional_lock_returns_false_without_waiting():
+    system = System()
+    outcome = {}
+
+    def holder():
+        txn = system.txns.begin("h")
+        yield from txn.lock("r1", "X")
+        yield Delay(10)
+        yield from txn.commit()
+
+    def prober():
+        yield Delay(1)
+        txn = system.txns.begin("p")
+        got = yield from txn.lock("r1", "S", conditional=True)
+        outcome["granted"] = got
+        outcome["time"] = system.now()
+        yield from txn.commit()
+
+    drive_all(system, [holder(), prober()])
+    assert outcome["granted"] is False
+    assert outcome["time"] == 1  # did not wait
+
+
+def test_instant_lock_waits_but_holds_nothing():
+    system = System()
+    outcome = {}
+
+    def holder():
+        txn = system.txns.begin("h")
+        yield from txn.lock("r1", "X")
+        yield Delay(5)
+        yield from txn.commit()
+
+    def instant():
+        yield Delay(1)
+        txn = system.txns.begin("i")
+        got = yield from txn.lock("r1", "S", instant=True)
+        outcome["granted_at"] = system.now()
+        outcome["holds"] = "r1" in txn.held_locks
+        yield from txn.commit()
+
+    drive_all(system, [holder(), instant()])
+    assert outcome["granted_at"] >= 5   # waited for the holder
+    assert outcome["holds"] is False    # but holds nothing afterwards
+
+
+def test_lock_upgrade_s_to_x():
+    system = System()
+
+    def body():
+        txn = system.txns.begin("u")
+        yield from txn.lock("r1", "S")
+        yield from txn.lock("r1", "X")  # sole holder: converts
+        assert system.locks.holders("r1") == {txn.txn_id: "X"}
+        yield from txn.commit()
+
+    drive_all(system, [body()])
+
+
+def test_conversion_deadlock_detected():
+    """Two S holders both upgrading to X is an unresolvable cycle."""
+    system = System()
+    outcomes = []
+
+    def upgrader(tag, delay):
+        txn = system.txns.begin(tag)
+        yield from txn.lock("r1", "S")
+        yield Delay(delay)
+        try:
+            yield from txn.lock("r1", "X")
+            yield Delay(1)
+            outcomes.append((tag, "upgraded"))
+            yield from txn.commit()
+        except DeadlockVictim:
+            yield from txn.rollback()
+            outcomes.append((tag, "victim"))
+
+    drive_all(system, [upgrader("a", 2), upgrader("b", 2)])
+    assert sorted(o for _t, o in outcomes) == ["upgraded", "victim"]
+
+
+def test_three_way_deadlock():
+    system = System()
+    outcomes = []
+
+    def worker(tag, first, second):
+        txn = system.txns.begin(tag)
+        yield from txn.lock(first, "X")
+        yield Delay(2)
+        try:
+            yield from txn.lock(second, "X")
+            outcomes.append((tag, "ok"))
+            yield from txn.commit()
+        except DeadlockVictim:
+            yield from txn.rollback()
+            outcomes.append((tag, "victim"))
+
+    drive_all(system, [worker("a", "r1", "r2"),
+                       worker("b", "r2", "r3"),
+                       worker("c", "r3", "r1")])
+    results = sorted(o for _t, o in outcomes)
+    assert results.count("victim") >= 1
+    assert results.count("ok") >= 2
+
+
+def test_release_all_on_commit_wakes_waiters():
+    system = System()
+    done = []
+
+    def holder():
+        txn = system.txns.begin("h")
+        yield from txn.lock("r1", "X")
+        yield from txn.lock("r2", "X")
+        yield Delay(3)
+        yield from txn.commit()
+
+    def waiter(name):
+        yield Delay(1)
+        txn = system.txns.begin(name)
+        yield from txn.lock(name, "X")
+        done.append(name)
+        yield from txn.commit()
+
+    drive_all(system, [holder(), waiter("r1"), waiter("r2")])
+    assert sorted(done) == ["r1", "r2"]
+
+
+def test_unlock_unheld_raises():
+    system = System()
+
+    def body():
+        txn = system.txns.begin()
+        system.locks.unlock(txn, "never-held")
+        yield Delay(0)
+
+    with pytest.raises(TransactionError):
+        drive_all(system, [body()])
+
+
+def test_re_request_of_held_lock_is_free():
+    system = System()
+
+    def body():
+        txn = system.txns.begin()
+        yield from txn.lock("r1", "X")
+        waits_before = system.metrics.get("lock.waits")
+        yield from txn.lock("r1", "X")
+        yield from txn.lock("r1", "S")  # weaker: covered by X
+        assert system.metrics.get("lock.waits") == waits_before
+        yield from txn.commit()
+
+    drive_all(system, [body()])
+
+
+def test_fifo_no_overtaking():
+    system = System()
+    order = []
+
+    def holder():
+        txn = system.txns.begin("h")
+        yield from txn.lock("r1", "X")
+        yield Delay(5)
+        yield from txn.commit()
+
+    def requester(tag, start, mode):
+        yield Delay(start)
+        txn = system.txns.begin(tag)
+        yield from txn.lock("r1", mode)
+        order.append(tag)
+        yield Delay(1)
+        yield from txn.commit()
+
+    # S arriving after a queued X must not barge past it.
+    drive_all(system, [holder(),
+                       requester("x-first", 1, "X"),
+                       requester("s-later", 2, "S")])
+    assert order == ["x-first", "s-later"]

@@ -1,0 +1,241 @@
+"""Tests for the read access paths (repro.query)."""
+
+import pytest
+
+from repro.core import IndexSpec, NSFIndexBuilder, SFIndexBuilder
+from repro.query import (
+    IndexNotAvailableError,
+    index_lookup,
+    index_range_scan,
+    set_gradual_availability,
+    table_scan,
+)
+from repro.sim import Delay
+from repro.system import System, SystemConfig
+
+
+def drive(system, body, name="driver"):
+    proc = system.spawn(body, name=name)
+    system.run()
+    if proc.error is not None:
+        raise proc.error
+    return proc.result
+
+
+def built(rows=60, builder_cls=SFIndexBuilder, unique=False):
+    system = System(SystemConfig(page_capacity=8, leaf_capacity=8))
+    table = system.create_table("t", ["k", "p"])
+
+    def body():
+        txn = system.txns.begin()
+        for i in range(rows):
+            yield from table.insert(txn, (i * 2, f"p{i}"))
+        yield from txn.commit()
+
+    drive(system, body())
+    builder = builder_cls(system, table,
+                          IndexSpec.of("idx", ["k"], unique=unique))
+    proc = system.spawn(builder.run(), name="builder")
+    system.run()
+    assert proc.error is None
+    return system, table, system.indexes["idx"]
+
+
+def test_index_lookup_finds_record():
+    system, table, descriptor = built()
+
+    def body():
+        txn = system.txns.begin()
+        hits = yield from index_lookup(txn, descriptor, (20,))
+        yield from txn.commit()
+        return hits
+
+    hits = drive(system, body())
+    assert len(hits) == 1
+    assert hits[0][1].values == (20, "p10")
+
+
+def test_index_lookup_missing_key():
+    system, table, descriptor = built()
+
+    def body():
+        txn = system.txns.begin()
+        hits = yield from index_lookup(txn, descriptor, (21,))
+        yield from txn.commit()
+        return hits
+
+    assert drive(system, body()) == []
+
+
+def test_range_scan_returns_sorted_window():
+    system, table, descriptor = built()
+
+    def body():
+        txn = system.txns.begin()
+        rows = yield from index_range_scan(txn, descriptor, (10,), (30,))
+        yield from txn.commit()
+        return rows
+
+    rows = drive(system, body())
+    keys = [key[0] for key, _rid, _rec in rows]
+    assert keys == [10, 12, 14, 16, 18, 20, 22, 24, 26, 28]
+
+
+def test_range_scan_skips_pseudo_deleted():
+    system, table, descriptor = built()
+
+    def body():
+        txn = system.txns.begin()
+        yield from table.insert(txn, (11, "doomed"))
+        yield from txn.rollback()  # tombstone <11, ...>
+        reader = system.txns.begin()
+        rows = yield from index_range_scan(reader, descriptor,
+                                           (10,), (14,))
+        yield from reader.commit()
+        return rows
+
+    rows = drive(system, body())
+    assert [key[0] for key, _r, _rec in rows] == [10, 12]
+
+
+def test_serializable_range_scan_blocks_phantom():
+    system, table, descriptor = built()
+    order = []
+
+    def reader():
+        txn = system.txns.begin("reader")
+        rows = yield from index_range_scan(txn, descriptor, (10,), (20,))
+        order.append(("read", len(rows), system.now()))
+        yield Delay(10)
+        yield from txn.commit()
+        order.append(("reader-done", system.now()))
+
+    def inserter():
+        while not any(tag == "read" for tag, *_rest in order):
+            yield Delay(0.5)  # wait until the scan has its locks
+        txn = system.txns.begin("phantom")
+        yield from table.insert(txn, (15, "phantom"))
+        order.append(("phantom-inserted", system.now()))
+        yield from txn.commit()
+
+    system.spawn(reader(), name="r")
+    system.spawn(inserter(), name="i")
+    system.run()
+    # the phantom's key insert had to wait for the reader's range lock
+    read_done = next(o[-1] for o in order if o[0] == "reader-done")
+    phantom_at = next(o[1] for o in order if o[0] == "phantom-inserted")
+    assert phantom_at >= read_done
+
+
+def test_reads_rejected_during_build():
+    system = System(SystemConfig(page_capacity=8))
+    table = system.create_table("t", ["k", "p"])
+
+    def body():
+        txn = system.txns.begin()
+        for i in range(300):
+            yield from table.insert(txn, (i, "x"))
+        yield from txn.commit()
+
+    drive(system, body())
+    builder = NSFIndexBuilder(system, table, IndexSpec.of("idx", ["k"]))
+    proc = system.spawn(builder.run(), name="builder")
+    outcome = {}
+
+    def reader():
+        yield Delay(5)  # mid-build
+        descriptor = system.indexes.get("idx")
+        txn = system.txns.begin()
+        try:
+            yield from index_lookup(txn, descriptor, (3,))
+            outcome["ok"] = True
+        except IndexNotAvailableError:
+            outcome["rejected"] = True
+        yield from txn.commit()
+
+    system.spawn(reader(), name="reader")
+    system.run()
+    assert proc.error is None
+    assert outcome.get("rejected") is True
+
+
+def test_gradual_availability_footnote3():
+    """Section 2.2.1 footnote 3: ranges below IB's committed frontier
+    become readable while the build is still running."""
+    from repro.core import BuildOptions
+    system = System(SystemConfig(page_capacity=8, leaf_capacity=8))
+    table = system.create_table("t", ["k", "p"])
+
+    def pop():
+        txn = system.txns.begin()
+        for i in range(400):
+            yield from table.insert(txn, (i, "x"))
+        yield from txn.commit()
+
+    drive(system, pop())
+    builder = NSFIndexBuilder(
+        system, table, IndexSpec.of("idx", ["k"]),
+        options=BuildOptions(commit_every_keys=64))
+    proc = system.spawn(builder.run(), name="builder")
+    outcome = {}
+
+    def reader():
+        descriptor = None
+        while descriptor is None:
+            yield Delay(1)
+            descriptor = system.indexes.get("idx")
+        set_gradual_availability(descriptor)
+        # wait until IB has committed some frontier
+        while getattr(descriptor, "read_watermark", None) is None:
+            assert not proc.finished
+            yield Delay(5)
+        watermark = descriptor.read_watermark[0]
+        txn = system.txns.begin()
+        low_rows = yield from index_range_scan(
+            txn, descriptor, (0,), (min(watermark[0], 10),),
+            serializable=False)
+        outcome["low_ok"] = len(low_rows)
+        try:
+            yield from index_range_scan(txn, descriptor, (0,), (99_999,))
+            outcome["high_ok"] = True
+        except IndexNotAvailableError:
+            outcome["high_rejected"] = True
+        yield from txn.commit()
+
+    system.spawn(reader(), name="reader")
+    system.run()
+    assert proc.error is None
+    assert outcome.get("low_ok", 0) > 0
+    assert outcome.get("high_rejected") is True
+
+
+def test_table_scan_matches_index_contents():
+    system, table, descriptor = built()
+
+    def body():
+        txn = system.txns.begin()
+        via_table = yield from table_scan(txn, table)
+        via_index = yield from index_range_scan(txn, descriptor,
+                                                (0,), None,
+                                                serializable=False)
+        yield from txn.commit()
+        return via_table, via_index
+
+    via_table, via_index = drive(system, body())
+    assert len(via_table) == len(via_index) == 60
+    assert {rid for rid, _r in via_table} \
+        == {rid for _k, rid, _r in via_index}
+
+
+def test_table_scan_with_predicate():
+    system, table, _descriptor = built()
+
+    def body():
+        txn = system.txns.begin()
+        rows = yield from table_scan(
+            txn, table, predicate=lambda rec: rec.values[0] < 10)
+        yield from txn.commit()
+        return rows
+
+    rows = drive(system, body())
+    assert sorted(rec.values[0] for _rid, rec in rows) == [0, 2, 4, 6, 8]

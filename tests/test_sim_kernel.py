@@ -1,0 +1,227 @@
+"""Unit tests for the discrete-event kernel (repro.sim.kernel)."""
+
+import pytest
+
+from repro.errors import SimulationError, SystemCrash
+from repro.sim import (
+    Acquire,
+    Delay,
+    Join,
+    SimEvent,
+    Simulator,
+    Wait,
+)
+
+
+def test_single_process_runs_to_completion():
+    log = []
+
+    def body():
+        log.append(("start", 0))
+        yield Delay(5)
+        log.append(("after-delay",))
+        return 42
+
+    sim = Simulator()
+    proc = sim.spawn(body(), name="p1")
+    sim.run()
+    assert proc.finished
+    assert proc.result == 42
+    assert sim.now == 5
+    assert log == [("start", 0), ("after-delay",)]
+
+
+def test_clock_advances_by_delay_sum():
+    def body():
+        yield Delay(1.5)
+        yield Delay(2.5)
+
+    sim = Simulator()
+    sim.spawn(body())
+    sim.run()
+    assert sim.now == pytest.approx(4.0)
+
+
+def test_two_processes_interleave_by_time():
+    order = []
+
+    def slow():
+        yield Delay(10)
+        order.append("slow")
+
+    def fast():
+        yield Delay(1)
+        order.append("fast")
+
+    sim = Simulator()
+    sim.spawn(slow(), name="slow")
+    sim.spawn(fast(), name="fast")
+    sim.run()
+    assert order == ["fast", "slow"]
+
+
+def test_tie_break_is_spawn_order():
+    order = []
+
+    def mk(tag):
+        def body():
+            yield Delay(3)
+            order.append(tag)
+        return body()
+
+    sim = Simulator()
+    for tag in "abc":
+        sim.spawn(mk(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_join_returns_child_result():
+    def child():
+        yield Delay(2)
+        return "payload"
+
+    def parent(sim):
+        kid = sim.spawn(child(), name="kid")
+        got = yield Join(kid)
+        return got
+
+    sim = Simulator()
+    parent_proc = sim.spawn(parent(sim), name="parent")
+    sim.run()
+    assert parent_proc.result == "payload"
+
+
+def test_join_on_already_finished_process():
+    def child():
+        return "early"
+        yield  # pragma: no cover - makes this a generator
+
+    def parent(sim, kid):
+        yield Delay(5)
+        got = yield Join(kid)
+        return got
+
+    sim = Simulator()
+    kid = sim.spawn(child(), name="kid")
+    sim.spawn(parent(sim, kid), name="parent")
+    parent_proc = sim.spawn(parent(sim, kid), name="parent2")
+    sim.run()
+    assert parent_proc.result == "early"
+
+
+def test_event_wakes_all_waiters_with_value():
+    results = []
+
+    def waiter(event, tag):
+        value = yield Wait(event)
+        results.append((tag, value))
+
+    def setter(event):
+        yield Delay(3)
+        event.set("go")
+
+    sim = Simulator()
+    event = sim.event()
+    sim.spawn(waiter(event, "w1"))
+    sim.spawn(waiter(event, "w2"))
+    sim.spawn(setter(event))
+    sim.run()
+    assert sorted(results) == [("w1", "go"), ("w2", "go")]
+    assert sim.now == 3
+
+
+def test_wait_on_already_set_event_is_immediate():
+    def body(event):
+        value = yield Wait(event)
+        return value
+
+    sim = Simulator()
+    event = sim.event()
+    event.set(7)
+    proc = sim.spawn(body(event))
+    sim.run()
+    assert proc.result == 7
+    assert sim.now == 0
+
+
+def test_run_until_pauses_and_resumes():
+    hits = []
+
+    def body():
+        for i in range(4):
+            yield Delay(10)
+            hits.append(i)
+
+    sim = Simulator()
+    sim.spawn(body())
+    sim.run(until=25)
+    assert hits == [0, 1]
+    assert sim.now == 25
+    sim.run()
+    assert hits == [0, 1, 2, 3]
+    assert sim.now == 40
+
+
+def test_system_crash_stops_simulator():
+    def crasher():
+        yield Delay(1)
+        raise SystemCrash("power failure")
+
+    def bystander(log):
+        yield Delay(100)
+        log.append("should-not-run")
+
+    log = []
+    sim = Simulator()
+    sim.spawn(crasher())
+    sim.spawn(bystander(log))
+    sim.run()
+    assert sim.crashed
+    assert log == []
+    assert sim.now == 1
+
+
+def test_unknown_effect_raises():
+    def body():
+        yield "not-an-effect"
+
+    sim = Simulator()
+    sim.spawn(body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_negative_delay_rejected():
+    def body():
+        yield Delay(-1)
+
+    sim = Simulator()
+    sim.spawn(body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_current_process_visible_during_step():
+    seen = []
+
+    def body(sim):
+        seen.append(sim.current.name)
+        yield Delay(0)
+        seen.append(sim.current.name)
+
+    sim = Simulator()
+    sim.spawn(body(sim), name="me")
+    sim.run()
+    assert seen == ["me", "me"]
+
+
+def test_exception_in_process_propagates():
+    def body():
+        yield Delay(1)
+        raise ValueError("bug in process")
+
+    sim = Simulator()
+    sim.spawn(body())
+    with pytest.raises(ValueError):
+        sim.run()

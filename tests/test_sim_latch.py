@@ -1,0 +1,164 @@
+"""Unit tests for S/X latches (repro.sim.latch)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.metrics import MetricsRegistry
+from repro.sim import Acquire, Delay, Latch, Simulator
+from repro.sim.latch import EXCLUSIVE, SHARE
+
+
+def test_share_holders_coexist():
+    latch = Latch("p1")
+    inside = []
+    sim = Simulator()
+
+    def make(tag):
+        def body():
+            yield Acquire(latch, SHARE)
+            inside.append(tag)
+            yield Delay(5)
+            latch.release(sim.current)
+        return body
+
+    sim.spawn(make("a")(), name="a")
+    sim.spawn(make("b")(), name="b")
+    sim.run()
+    assert inside == ["a", "b"]
+    assert sim.now == 5  # both overlapped
+
+
+def test_exclusive_excludes_share():
+    latch = Latch("p1")
+    timeline = []
+
+    sim = Simulator()
+
+    def writer():
+        yield Acquire(latch, EXCLUSIVE)
+        timeline.append(("w-in", sim.now))
+        yield Delay(10)
+        latch.release(sim.current)
+
+    def reader():
+        yield Delay(1)
+        yield Acquire(latch, SHARE)
+        timeline.append(("r-in", sim.now))
+        latch.release(sim.current)
+
+    sim.spawn(writer(), name="w")
+    sim.spawn(reader(), name="r")
+    sim.run()
+    assert timeline == [("w-in", 0), ("r-in", 10)]
+
+
+def test_share_does_not_starve_exclusive():
+    """A share arriving behind a queued exclusive must wait (no barging)."""
+    latch = Latch("p1")
+    timeline = []
+    sim = Simulator()
+
+    def holder():
+        yield Acquire(latch, SHARE)
+        yield Delay(10)
+        latch.release(sim.current)
+
+    def writer():
+        yield Delay(1)
+        yield Acquire(latch, EXCLUSIVE)
+        timeline.append(("w", sim.now))
+        yield Delay(5)
+        latch.release(sim.current)
+
+    def late_reader():
+        yield Delay(2)
+        yield Acquire(latch, SHARE)
+        timeline.append(("r", sim.now))
+        latch.release(sim.current)
+
+    sim.spawn(holder(), name="h")
+    sim.spawn(writer(), name="w")
+    sim.spawn(late_reader(), name="r")
+    sim.run()
+    assert timeline == [("w", 10), ("r", 15)]
+
+
+def test_fifo_grant_order_for_exclusives():
+    latch = Latch("p1")
+    order = []
+    sim = Simulator()
+
+    def make(tag, start):
+        def body():
+            yield Delay(start)
+            yield Acquire(latch, EXCLUSIVE)
+            order.append(tag)
+            yield Delay(10)
+            latch.release(sim.current)
+        return body
+
+    for i, tag in enumerate("abc"):
+        sim.spawn(make(tag, i)(), name=tag)
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_release_without_hold_raises():
+    latch = Latch("p1")
+    sim = Simulator()
+
+    def body():
+        yield Delay(1)
+        latch.release(sim.current)
+
+    sim.spawn(body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_reacquire_raises():
+    latch = Latch("p1")
+    sim = Simulator()
+
+    def body():
+        yield Acquire(latch, SHARE)
+        yield Acquire(latch, SHARE)
+
+    sim.spawn(body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_latch_metrics_counted():
+    metrics = MetricsRegistry()
+    latch = Latch("p1", metrics=metrics)
+    sim = Simulator()
+
+    def holder():
+        yield Acquire(latch, EXCLUSIVE)
+        yield Delay(7)
+        latch.release(sim.current)
+
+    def waiter():
+        yield Delay(1)
+        yield Acquire(latch, EXCLUSIVE)
+        latch.release(sim.current)
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.run()
+    assert metrics.get("latch.requests") == 2
+    assert metrics.get("latch.waits") == 1
+    assert metrics.stat("latch.wait_time").total == pytest.approx(6)
+
+
+def test_bad_mode_rejected():
+    latch = Latch("p1")
+    sim = Simulator()
+
+    def body():
+        yield Acquire(latch, "U")
+
+    sim.spawn(body())
+    with pytest.raises(SimulationError):
+        sim.run()

@@ -1,0 +1,309 @@
+"""Unit tests for the restartable sort (repro.sort)."""
+
+import random
+
+import pytest
+
+from repro.errors import SortRestartError
+from repro.sort import (
+    INF,
+    LoserTree,
+    RestartableMerger,
+    RunFormation,
+    RunStore,
+    SortRun,
+    final_merger,
+    merge_pass,
+    merge_to_single,
+)
+
+
+# -- LoserTree -----------------------------------------------------------------
+
+
+def test_loser_tree_basic_merge_order():
+    tree = LoserTree(4)
+    for slot, value in enumerate([7, 3, 9, 1]):
+        tree.set(slot, value)
+    tree.build()
+    produced = []
+    while not tree.exhausted:
+        slot, value = tree.pop()
+        produced.append(value)
+        tree.set(slot, INF)
+        tree.fixup(slot)
+    assert produced == [1, 3, 7, 9]
+
+
+def test_loser_tree_streams():
+    streams = [[1, 4, 7], [2, 5, 8], [3, 6, 9]]
+    positions = [0, 0, 0]
+    tree = LoserTree(3)
+    for slot in range(3):
+        tree.set(slot, streams[slot][0])
+        positions[slot] = 1
+    tree.build()
+    out = []
+    while not tree.exhausted:
+        slot, value = tree.pop()
+        out.append(value)
+        nxt = (streams[slot][positions[slot]]
+               if positions[slot] < len(streams[slot]) else INF)
+        positions[slot] += 1
+        tree.set(slot, nxt)
+        tree.fixup(slot)
+    assert out == list(range(1, 10))
+
+
+def test_loser_tree_single_slot():
+    tree = LoserTree(1)
+    tree.set(0, 42)
+    tree.build()
+    slot, value = tree.pop()
+    assert (slot, value) == (0, 42)
+    tree.set(0, INF)
+    tree.fixup(0)
+    assert tree.exhausted
+
+
+def test_loser_tree_rejects_zero_slots():
+    with pytest.raises(ValueError):
+        LoserTree(0)
+
+
+# -- SortRun / RunStore ------------------------------------------------------------
+
+
+def test_run_enforces_sort_order():
+    run = SortRun("r")
+    run.append(1)
+    run.append(2)
+    with pytest.raises(SortRestartError):
+        run.append(1)
+
+
+def test_run_crash_truncates_to_stable():
+    run = SortRun("r")
+    for k in (1, 2, 3):
+        run.append(k)
+    run.force()
+    run.append(4)
+    run.crash()
+    assert run.keys == [1, 2, 3]
+
+
+def test_store_crash_drops_fully_volatile_runs():
+    store = RunStore()
+    r1 = store.new_run()
+    r1.append(1)
+    r1.force()
+    r2 = store.new_run()
+    r2.append(5)
+    store.crash()
+    assert r1.name in store.runs
+    assert r2.name not in store.runs
+
+
+# -- run formation ------------------------------------------------------------------
+
+
+def sorted_check(runs):
+    for run in runs:
+        assert run.keys == sorted(run.keys)
+
+
+def test_run_formation_produces_sorted_runs_covering_input():
+    rng = random.Random(7)
+    keys = [rng.randrange(10_000) for _ in range(2_000)]
+    store = RunStore()
+    sorter = RunFormation(store, workspace_size=32)
+    for key in keys:
+        sorter.push(key)
+    runs = sorter.finish()
+    sorted_check(runs)
+    everything = sorted(k for run in runs for k in run.keys)
+    assert everything == sorted(keys)
+    # replacement selection: average run length about 2x workspace
+    assert len(runs) < len(keys) / 32
+
+
+def test_run_formation_sorted_input_yields_one_run():
+    store = RunStore()
+    sorter = RunFormation(store, workspace_size=8)
+    for key in range(100):
+        sorter.push(key)
+    runs = sorter.finish()
+    assert len(runs) == 1
+    assert runs[0].keys == list(range(100))
+
+
+def test_run_formation_reverse_input_yields_many_runs():
+    store = RunStore()
+    sorter = RunFormation(store, workspace_size=8)
+    for key in reversed(range(100)):
+        sorter.push(key)
+    runs = sorter.finish()
+    assert len(runs) > 5
+    sorted_check(runs)
+
+
+def test_sort_checkpoint_and_restart_loses_nothing_before_checkpoint():
+    rng = random.Random(3)
+    keys = [rng.randrange(1_000) for _ in range(600)]
+    store = RunStore()
+    sorter = RunFormation(store, workspace_size=16)
+    for key in keys[:400]:
+        sorter.push(key)
+    manifest = sorter.checkpoint(scan_position=400)
+    # keep feeding, then crash before another checkpoint
+    for key in keys[400:550]:
+        sorter.push(key)
+    store.crash()
+    sorter, scan_position = RunFormation.restore(store, manifest, 16)
+    assert scan_position == 400
+    # re-push everything from the checkpointed scan position
+    for key in keys[400:]:
+        sorter.push(key)
+    runs = sorter.finish()
+    sorted_check(runs)
+    everything = sorted(k for run in runs for k in run.keys)
+    assert everything == sorted(keys)
+
+
+def test_sort_restart_appends_to_last_run_when_keys_higher():
+    """Section 5.1: if the smallest post-restart key exceeds the
+    checkpointed highest key, the same stream continues."""
+    store = RunStore()
+    sorter = RunFormation(store, workspace_size=4)
+    for key in range(20):
+        sorter.push(key)
+    manifest = sorter.checkpoint(scan_position=20)
+    runs_before = len(store.runs)
+    store.crash()
+    sorter, _pos = RunFormation.restore(store, manifest, 4)
+    for key in range(20, 40):  # all higher than checkpointed highest (19)
+        sorter.push(key)
+    runs = sorter.finish()
+    assert len(runs) == runs_before == 1
+    assert runs[0].keys == list(range(40))
+
+
+def test_sort_restart_opens_new_run_when_keys_lower():
+    store = RunStore()
+    sorter = RunFormation(store, workspace_size=4)
+    for key in range(100, 120):
+        sorter.push(key)
+    manifest = sorter.checkpoint(scan_position=20)
+    store.crash()
+    sorter, _pos = RunFormation.restore(store, manifest, 4)
+    for key in range(20):  # all lower than checkpointed highest
+        sorter.push(key)
+    runs = sorter.finish()
+    assert len(runs) == 2
+    sorted_check(runs)
+
+
+# -- merge ------------------------------------------------------------------------------
+
+
+def make_runs(store, lists):
+    runs = []
+    for keys in lists:
+        run = store.new_run()
+        for key in keys:
+            run.append(key)
+        run.force()
+        run.closed = True
+        runs.append(run)
+    return runs
+
+
+def test_merger_produces_global_order():
+    store = RunStore()
+    runs = make_runs(store, [[1, 4, 7], [2, 5, 8], [3, 6, 9]])
+    merger = RestartableMerger(runs, store.new_run())
+    out = merger.run_to_completion()
+    assert out.keys == list(range(1, 10))
+
+
+def test_merger_with_duplicate_keys():
+    store = RunStore()
+    runs = make_runs(store, [[1, 1, 2], [1, 2, 2]])
+    merger = RestartableMerger(runs, store.new_run())
+    out = merger.run_to_completion()
+    assert out.keys == [1, 1, 1, 2, 2, 2]
+
+
+def test_merge_checkpoint_restart_no_loss_no_duplication():
+    rng = random.Random(11)
+    lists = [sorted(rng.randrange(10_000) for _ in range(200))
+             for _ in range(4)]
+    store = RunStore()
+    runs = make_runs(store, lists)
+    merger = RestartableMerger(runs, store.new_run())
+    merger.pop_many(300)
+    manifest = merger.checkpoint()
+    merger.pop_many(250)  # not checkpointed; will be lost
+    store.crash()
+    merger = RestartableMerger.restore(store, manifest)
+    out = merger.run_to_completion()
+    expected = sorted(k for keys in lists for k in keys)
+    assert out.keys == expected
+
+
+def test_merge_restart_counters_reposition_inputs_exactly():
+    store = RunStore()
+    runs = make_runs(store, [[1, 3, 5], [2, 4, 6]])
+    merger = RestartableMerger(runs, store.new_run())
+    merger.pop_many(3)  # 1, 2, 3
+    manifest = merger.checkpoint()
+    assert manifest["counters"] == [3, 2]  # next: 5 (pos 3), 4 (pos 2)
+    store.crash()
+    merger = RestartableMerger.restore(store, manifest)
+    out = merger.run_to_completion()
+    assert out.keys == [1, 2, 3, 4, 5, 6]
+
+
+def test_merge_pass_and_to_single():
+    rng = random.Random(5)
+    lists = [sorted(rng.randrange(500) for _ in range(50))
+             for _ in range(10)]
+    store = RunStore()
+    runs = make_runs(store, lists)
+    single = merge_to_single(store, runs, fanin=3)
+    expected = sorted(k for keys in lists for k in keys)
+    assert single.keys == expected
+
+
+def test_final_merger_streams_last_pass():
+    rng = random.Random(9)
+    lists = [sorted(rng.randrange(500) for _ in range(40))
+             for _ in range(9)]
+    store = RunStore()
+    runs = make_runs(store, lists)
+    merger = final_merger(store, runs, fanin=4)
+    out = []
+    while True:
+        value = merger.pop()
+        if value is None:
+            break
+        out.append(value)
+    assert out == sorted(k for keys in lists for k in keys)
+
+
+def test_final_merger_empty_input():
+    store = RunStore()
+    assert final_merger(store, [], fanin=4) is None
+
+
+def test_end_to_end_sort_random_data():
+    rng = random.Random(42)
+    keys = [(rng.randrange(1_000), (rng.randrange(50), rng.randrange(16)))
+            for _ in range(3_000)]
+    store = RunStore()
+    sorter = RunFormation(store, workspace_size=64)
+    for key in keys:
+        sorter.push(key)
+    runs = sorter.finish()
+    single = merge_to_single(store, runs, fanin=8)
+    assert single.keys == sorted(keys)

@@ -1,0 +1,221 @@
+"""Unit tests for pages, disk, and buffer pool (repro.storage)."""
+
+import pytest
+
+from repro.errors import PageFullError, RecordNotFoundError, StorageError
+from repro.metrics import MetricsRegistry
+from repro.storage import DataPage, Disk, PageId, Record, RID
+from repro.storage.buffer import BufferPool
+from repro.system import System, SystemConfig
+from repro.wal import LogManager, RecordKind
+
+
+def drive(system, body):
+    """Run one process to completion; return its result."""
+    proc = system.spawn(body, name="driver")
+    system.run()
+    assert proc.error is None
+    return proc.result
+
+
+# -- DataPage ----------------------------------------------------------------
+
+
+def test_page_put_get_clear():
+    page = DataPage(PageId("t", 0), capacity=4)
+    rec = Record((1, "a"))
+    page.put(2, rec)
+    assert page.get(2) is rec
+    assert page.live_count == 1
+    page.clear(2)
+    assert page.peek(2) is None
+    with pytest.raises(RecordNotFoundError):
+        page.get(2)
+
+
+def test_page_free_slot_and_full():
+    page = DataPage(PageId("t", 0), capacity=2)
+    assert page.free_slot() == 0
+    page.put(0, Record((1,)))
+    assert page.free_slot() == 1
+    page.put(1, Record((2,)))
+    assert page.free_slot() is None
+    assert page.is_full
+
+
+def test_page_slot_bounds_checked():
+    page = DataPage(PageId("t", 0), capacity=2)
+    with pytest.raises(PageFullError):
+        page.put(5, Record((1,)))
+
+
+def test_page_live_records_carry_rids():
+    page = DataPage(PageId("t", 7), capacity=4)
+    page.put(1, Record(("x",)))
+    page.put(3, Record(("y",)))
+    rids = [rid for rid, _rec in page.live_records()]
+    assert rids == [RID(7, 1), RID(7, 3)]
+
+
+def test_page_clone_is_independent():
+    page = DataPage(PageId("t", 0), capacity=2)
+    page.put(0, Record((1,)))
+    page.page_lsn = 9
+    twin = page.clone()
+    page.clear(0)
+    assert twin.get(0).values == (1,)
+    assert twin.page_lsn == 9
+
+
+def test_record_project():
+    rec = Record(("a", "b", "c"))
+    assert rec.project((2, 0)) == ("c", "a")
+
+
+# -- Disk ---------------------------------------------------------------------
+
+
+def test_disk_roundtrip_is_a_copy():
+    disk = Disk()
+    page = DataPage(PageId("t", 0), capacity=2)
+    page.put(0, Record((1,)))
+    disk.write_page(page)
+    page.clear(0)
+    back = disk.read_page(PageId("t", 0))
+    assert back.get(0).values == (1,)
+
+
+def test_disk_missing_page_is_none():
+    disk = Disk()
+    assert disk.read_page(PageId("t", 3)) is None
+    assert not disk.has_page(PageId("t", 3))
+
+
+def test_disk_sequential_read_cheaper_than_random():
+    disk = Disk()
+    assert disk.read_cost(8) < 8 * disk.read_cost(1) / 2
+
+
+def test_disk_drop_file():
+    disk = Disk()
+    for i in range(3):
+        disk.write_page(DataPage(PageId("idx", i), capacity=2))
+    disk.write_page(DataPage(PageId("other", 0), capacity=2))
+    disk.drop_file("idx")
+    assert disk.file_pages("idx") == []
+    assert disk.file_pages("other") == [PageId("other", 0)]
+
+
+# -- BufferPool ------------------------------------------------------------------
+
+
+def make_pool(capacity=4):
+    metrics = MetricsRegistry()
+    disk = Disk(metrics=metrics)
+    log = LogManager(metrics=metrics)
+    return BufferPool(disk, log, capacity=capacity, metrics=metrics), disk, log
+
+
+def run_gen(gen):
+    """Drive a storage generator outside a simulator, summing delays."""
+    total = 0.0
+    try:
+        while True:
+            effect = gen.send(None)
+            total += effect.duration
+    except StopIteration as stop:
+        return stop.value, total
+
+
+def test_new_page_then_hit():
+    pool, disk, _log = make_pool()
+    page, _cost = run_gen(pool.new_page(PageId("t", 0), capacity=4))
+    again, _cost = run_gen(pool.fetch(PageId("t", 0)))
+    assert again is page
+    assert pool.metrics.get("buffer.hits") == 1
+
+
+def test_fetch_missing_page_errors():
+    pool, _disk, _log = make_pool()
+    with pytest.raises(StorageError):
+        run_gen(pool.fetch(PageId("t", 0)))
+
+
+def test_eviction_writes_dirty_page_and_respects_wal():
+    pool, disk, log = make_pool(capacity=2)
+    page0, _ = run_gen(pool.new_page(PageId("t", 0), capacity=4))
+    page0.put(0, Record(("dirty",)))
+    record = log.append(1, RecordKind.UPDATE, redo=("x", {}))
+    pool.mark_dirty(page0, record.lsn)
+    run_gen(pool.new_page(PageId("t", 1), capacity=4))
+    run_gen(pool.new_page(PageId("t", 2), capacity=4))  # evicts t:0
+    assert disk.has_page(PageId("t", 0))
+    assert log.flushed_lsn >= record.lsn  # WAL rule
+    image = disk.read_page(PageId("t", 0))
+    assert image.get(0).values == ("dirty",)
+
+
+def test_flush_page_clears_dirty_entry():
+    pool, disk, log = make_pool()
+    page, _ = run_gen(pool.new_page(PageId("t", 0), capacity=4))
+    record = log.append(1, RecordKind.UPDATE, redo=("x", {}))
+    pool.mark_dirty(page, record.lsn)
+    assert PageId("t", 0) in pool.dirty
+    run_gen(pool.flush_page(PageId("t", 0)))
+    assert PageId("t", 0) not in pool.dirty
+    assert disk.has_page(PageId("t", 0))
+
+
+def test_dirty_table_keeps_first_lsn():
+    pool, _disk, log = make_pool()
+    page, _ = run_gen(pool.new_page(PageId("t", 0), capacity=4))
+    r1 = log.append(1, RecordKind.UPDATE, redo=("x", {}))
+    r2 = log.append(1, RecordKind.UPDATE, redo=("x", {}))
+    pool.mark_dirty(page, r1.lsn)
+    pool.mark_dirty(page, r2.lsn)
+    assert pool.dirty[PageId("t", 0)] == r1.lsn  # recovery LSN
+    assert page.page_lsn == r2.lsn
+
+
+def test_fetch_sequential_counts_one_prefetch():
+    pool, disk, _log = make_pool(capacity=16)
+    ids = []
+    for i in range(4):
+        page, _ = run_gen(pool.new_page(PageId("t", i), capacity=4))
+        ids.append(page.page_id)
+        run_gen(pool.flush_page(page.page_id))
+    pool.crash()
+    pages, cost = run_gen(pool.fetch_sequential(ids))
+    assert [p.page_id for p in pages] == ids
+    assert pool.metrics.get("buffer.prefetches") == 1
+    # one sequential I/O, not four random ones
+    assert cost < 4 * disk.RANDOM_IO
+
+
+def test_crash_loses_frames_but_not_disk():
+    pool, disk, log = make_pool()
+    page, _ = run_gen(pool.new_page(PageId("t", 0), capacity=4))
+    page.put(0, Record(("gone",)))
+    record = log.append(1, RecordKind.UPDATE, redo=("x", {}))
+    pool.mark_dirty(page, record.lsn)
+    pool.crash()
+    assert not pool.resident(PageId("t", 0))
+    assert not disk.has_page(PageId("t", 0))  # never flushed
+
+
+def test_ensure_page_creates_fetches_or_returns():
+    pool, _disk, _log = make_pool()
+    page, _ = run_gen(pool.ensure_page(PageId("t", 0), capacity=4))
+    same, _ = run_gen(pool.ensure_page(PageId("t", 0), capacity=4))
+    assert same is page
+    run_gen(pool.flush_page(PageId("t", 0)))
+    pool.crash()
+    back, _ = run_gen(pool.ensure_page(PageId("t", 0), capacity=4))
+    assert back.page_id == PageId("t", 0)
+
+
+def test_zero_capacity_pool_rejected():
+    disk = Disk()
+    log = LogManager()
+    with pytest.raises(StorageError):
+        BufferPool(disk, log, capacity=0)

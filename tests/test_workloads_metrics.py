@@ -1,0 +1,130 @@
+"""Unit tests for workload generation and the metrics registry."""
+
+import pytest
+
+from repro.metrics import MetricsRegistry, SeriesStat
+from repro.system import System, SystemConfig
+from repro.workloads import WorkloadDriver, WorkloadSpec
+
+
+# -- metrics -------------------------------------------------------------------
+
+
+def test_counters_incr_and_get():
+    metrics = MetricsRegistry()
+    metrics.incr("a")
+    metrics.incr("a", 4)
+    assert metrics.get("a") == 5
+    assert metrics.get("missing") == 0
+
+
+def test_snapshot_and_delta():
+    metrics = MetricsRegistry()
+    metrics.incr("a", 3)
+    before = metrics.snapshot()
+    metrics.incr("a", 2)
+    metrics.incr("b")
+    delta = metrics.delta(before)
+    assert delta == {"a": 2, "b": 1}
+
+
+def test_series_stats():
+    metrics = MetricsRegistry()
+    for value in (1.0, 3.0, 2.0):
+        metrics.observe("lat", value)
+    stat = metrics.stat("lat")
+    assert stat.count == 3
+    assert stat.total == 6.0
+    assert stat.minimum == 1.0
+    assert stat.maximum == 3.0
+    assert stat.mean == pytest.approx(2.0)
+    empty = metrics.stat("nothing")
+    assert empty.count == 0 and empty.mean == 0.0
+
+
+def test_reset_clears_everything():
+    metrics = MetricsRegistry()
+    metrics.incr("a")
+    metrics.observe("s", 1.0)
+    metrics.reset()
+    assert metrics.get("a") == 0
+    assert metrics.stat("s").count == 0
+
+
+# -- workloads --------------------------------------------------------------------
+
+
+def run_workload(seed=1, **spec_kwargs):
+    system = System(SystemConfig(page_capacity=8), seed=seed)
+    table = system.create_table("t", ["k", "p"])
+    spec = WorkloadSpec(operations=40, workers=2, think_time=0.5,
+                        **spec_kwargs)
+    driver = WorkloadDriver(system, table, spec, seed=seed)
+    pre = system.spawn(driver.preload(60), name="preload")
+    system.run()
+    assert pre.error is None
+    procs = driver.spawn_workers()
+    system.run()
+    for proc in procs:
+        assert proc.error is None
+    return system, table, driver
+
+
+def test_workload_is_deterministic():
+    _s1, _t1, d1 = run_workload(seed=5)
+    _s2, _t2, d2 = run_workload(seed=5)
+    timeline1 = [(r.time, r.op, r.outcome) for r in d1.op_timeline]
+    timeline2 = [(r.time, r.op, r.outcome) for r in d2.op_timeline]
+    assert timeline1 == timeline2
+
+
+def test_workload_pool_matches_table():
+    system, table, driver = run_workload(seed=6)
+    table_rows = {rid: rec.values[0]
+                  for rid, rec in table.audit_records()}
+    assert driver.pool == table_rows
+
+
+def test_rollback_fraction_produces_rollbacks():
+    system, _table, driver = run_workload(seed=7, rollback_fraction=0.5)
+    outcomes = [r.outcome for r in driver.op_timeline]
+    assert outcomes.count("rolledback") > 10
+    assert outcomes.count("committed") > 10
+
+
+def test_zero_rollback_fraction():
+    system, _table, driver = run_workload(seed=8, rollback_fraction=0.0)
+    assert all(r.outcome in ("committed", "aborted")
+               for r in driver.op_timeline)
+
+
+def test_skewed_distribution_concentrates_keys():
+    system, table, driver = run_workload(
+        seed=9, distribution="skewed", key_space=10_000,
+        delete_weight=0.0, update_weight=0.0)
+    keys = sorted(key for key in driver.pool.values())
+    median = keys[len(keys) // 2]
+    assert median < 5_000  # power-law squash pushes mass to low keys
+
+
+def test_insert_only_mix_grows_table():
+    system, table, driver = run_workload(
+        seed=10, delete_weight=0.0, update_weight=0.0,
+        rollback_fraction=0.0)
+    assert len(driver.pool) == 60 + 80  # preload + 2 workers x 40 inserts
+
+
+def test_throughput_series_counts_all_commits():
+    system, _table, driver = run_workload(seed=11)
+    series = driver.throughput_series(bucket=10.0)
+    committed = sum(1 for r in driver.op_timeline
+                    if r.outcome == "committed")
+    assert sum(count for _t, count in series) == committed
+
+
+def test_longest_stall_zero_without_commits():
+    system = System()
+    table = system.create_table("t", ["k", "p"])
+    driver = WorkloadDriver(system, table, WorkloadSpec(operations=0))
+    assert driver.longest_stall() == 0.0
+    assert driver.throughput_series(5.0) == []
