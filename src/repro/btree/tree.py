@@ -40,6 +40,8 @@ from typing import Iterator, Optional, Sequence, TYPE_CHECKING
 
 from repro.btree.node import BranchPage, CompositeKey, KeyEntry, LeafPage
 from repro.errors import IndexBuildError, StorageError, UniqueViolationError
+from repro.faultinject.injector import InjectedCrash
+from repro.faultinject.sites import fault_point
 from repro.sim.kernel import Acquire, Delay
 from repro.sim.latch import EXCLUSIVE, SHARE
 from repro.storage.rid import RID
@@ -100,6 +102,11 @@ class BTree:
         self.durable_lsn = 0
         self._snapshot: Optional[dict] = None
         self._snapshot_durable_lsn = 0
+        #: True after a crash revealed a torn (damaged) stable snapshot:
+        #: the surviving tree image is unusable and recovery must either
+        #: replay the full log (NSF, fully logged) or rebuild from the
+        #: sorted runs (SF, unlogged build; section 6's fallback).
+        self.media_damaged = False
         self._bounds_cache: dict = {}
         self._register_operations()
 
@@ -278,6 +285,9 @@ class BTree:
                       right: LeafPage | BranchPage,
                       separator: CompositeKey,
                       path: list[tuple[BranchPage, int]]) -> None:
+        # Mid-split: entries are redistributed and the leaf chain is
+        # relinked, but the parent has no separator yet.
+        fault_point(self.system.metrics, "btree.split")
         self.structure_version += 1
         self.system.metrics.incr("index.splits")
         self.system.log.append(
@@ -369,6 +379,7 @@ class BTree:
             if wait_for is not None:
                 # Wait (latch-free) for the conflicting record's fate.
                 yield from txn.lock(wait_for, "S", instant=True)
+        fault_point(self.system.metrics, "btree.txn_insert")
         if not during_build:
             yield from self._next_key_lock(txn, leaf, composite,
                                            instant=True)
@@ -520,6 +531,7 @@ class BTree:
                 self.system.metrics.incr("index.physical_deletes")
         finally:
             leaf.latch.release(self.system.sim.current)
+        fault_point(self.system.metrics, "btree.txn_delete")
         if not during_build and exact is not None:
             yield from self._next_key_lock(txn, leaf, composite,
                                            instant=False)
@@ -623,6 +635,7 @@ class BTree:
             finally:
                 leaf.latch.release(self.system.sim.current)
             if pending:
+                fault_point(self.system.metrics, "btree.ib_insert")
                 yield Delay(self.system.config.key_op_cost
                             * len(pending))
             if unique_check is not None:
@@ -808,6 +821,7 @@ class BTree:
                     self.system.metrics.incr("index.deletes.drain")
         finally:
             leaf.latch.release(self.system.sim.current)
+        fault_point(self.system.metrics, "btree.drain_apply")
         yield Delay(self.system.config.key_op_cost)
 
     def verify_unique(self) -> None:
@@ -953,13 +967,42 @@ class BTree:
         to disk" (section 3.2.4).  Log records at or below the recorded
         ``durable_lsn`` need no redo after a crash.
         """
+        kind = fault_point(self.system.metrics, "btree.force")
+        if kind is not None:
+            # Torn write: the snapshot lands on disk damaged but
+            # detectably so (a checksum mismatch), then power fails.
+            self._snapshot = {"__torn__": True}
+            self._snapshot_durable_lsn = self.system.log.last_lsn
+            raise InjectedCrash(
+                f"torn snapshot write of index {self.name}")
+        # WAL rule for the snapshot write: the snapshot carries the
+        # effects of every record up to last_lsn, so none of them may be
+        # lost in a crash or the stable image gets ahead of the log (an
+        # unflushed loser's index op would survive while its heap op and
+        # its very existence vanish -- found by the crash sweep).
+        self.system.log.flush(self.system.log.last_lsn)
         self._snapshot = self._serialize()
         self.durable_lsn = self.system.log.last_lsn
         self._snapshot_durable_lsn = self.durable_lsn
+        self.media_damaged = False
         self.system.metrics.incr("index.forces")
+        fault_point(self.system.metrics, "btree.force.after")
 
     def crash(self) -> None:
         """Revert to the last stable snapshot (or empty)."""
+        if self._snapshot is not None and self._snapshot.get("__torn__"):
+            # The stable image failed its checksum: nothing of the tree
+            # is usable.  Flag it so restart picks a rebuild strategy
+            # (full log replay for NSF, run re-extraction for SF).
+            self.pages.clear()
+            self.root = None
+            self._next_page_no = 0
+            self.structure_version += 1
+            self.durable_lsn = 0
+            self._snapshot = None
+            self._snapshot_durable_lsn = 0
+            self.media_damaged = True
+            return
         if self._snapshot is None:
             self.pages.clear()
             self.root = None
@@ -1109,6 +1152,12 @@ def _reject_redo(system: "System", record: LogRecord):  # pragma: no cover
 def _undo_index(system: "System", txn: "Transaction", record: LogRecord):
     _op, args = record.undo
     tree = _tree_for(system, args["index"])
+    if tree is not None and tree.media_damaged:
+        # A damaged tree is rebuilt wholesale (log replay or run
+        # re-extraction); logical undo against the empty shell would
+        # plant stale entries.  The CLR is still written below so the
+        # undo chain stays well-formed.
+        tree = None
     if tree is not None:
         action = args["action"]
         if action in ("insert_many", "remove_many"):

@@ -20,6 +20,7 @@ from typing import Optional, Sequence, TYPE_CHECKING
 
 from repro.core.descriptor import IndexDescriptor, IndexState
 from repro.core.maintenance import BuildContext, install_maintenance
+from repro.faultinject.sites import fault_point
 from repro.sim.kernel import Acquire, Delay
 from repro.sim.latch import SHARE
 from repro.sort import RunFormation, RunStore, final_merger
@@ -199,6 +200,7 @@ class BuilderBase:
                         for descriptor in self.descriptors:
                             self._sorters[descriptor.name].push(
                                 (descriptor.key_of(record), tuple(rid)))
+                        fault_point(self.system.metrics, "build.sort_push")
                     if records:
                         yield Delay(len(records)
                                     * self.options.key_extract_cost)
@@ -206,6 +208,7 @@ class BuilderBase:
                 finally:
                     page.latch.release(self.system.sim.current)
                 self.system.metrics.incr("build.pages_scanned")
+                fault_point(self.system.metrics, "build.scan_page")
             pages_since_checkpoint += len(batch_ids)
             page_no = upto
             if checkpoint_every is not None \
@@ -291,6 +294,7 @@ class BuilderBase:
         """Hook: SF advances Current-RID here, under the page latch."""
 
     def _checkpoint_scan(self, next_page: int) -> None:
+        fault_point(self.system.metrics, "build.scan_checkpoint")
         manifests = {name: sorter.checkpoint(scan_position=next_page)
                      for name, sorter in self._sorters.items()}
         self._write_utility_checkpoint({
@@ -301,6 +305,7 @@ class BuilderBase:
         self.system.metrics.incr("build.scan_checkpoints")
 
     def _finish_sort(self) -> dict[str, list]:
+        fault_point(self.system.metrics, "build.sort_finish")
         return {name: sorter.finish()
                 for name, sorter in self._sorters.items()}
 
@@ -314,8 +319,13 @@ class BuilderBase:
         # "This checkpointing to stable storage is done after all the
         # dirty pages of the index have been written to disk" (§3.2.4):
         # force each build tree so redo starts from this point.
+        fault_point(self.system.metrics, "build.checkpoint.before")
         for descriptor in self.descriptors:
             descriptor.tree.force()
+        # The trees' stable snapshots are now *ahead* of the surviving
+        # checkpoint until the new one lands -- resume must cut the trees
+        # back to the checkpointed high keys (section 3.2.4).
+        fault_point(self.system.metrics, "build.checkpoint.mid")
         payload = {
             "builder": self.mode,
             "table": self.table.name,
@@ -333,6 +343,7 @@ class BuilderBase:
             payload,
         )
         self.system.metrics.incr("build.utility_checkpoints")
+        fault_point(self.system.metrics, "build.checkpoint.after")
 
     # -- timing helpers -------------------------------------------------------------------------
 

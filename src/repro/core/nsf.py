@@ -27,6 +27,7 @@ from repro.btree.tree import IBCursor
 from repro.core.base import BuilderBase, BuildOptions, IndexSpec
 from repro.core.descriptor import IndexState
 from repro.core.maintenance import BuildContext, NSF_MODE, install_maintenance
+from repro.faultinject.sites import fault_point
 from repro.sort import RestartableMerger, RunFormation
 from repro.storage.rid import RID
 
@@ -105,6 +106,7 @@ class NSFIndexBuilder(BuilderBase):
         self._write_utility_checkpoint({
             "phase": "scan", "next_page": 0, "sort": {}})
         self._mark("descriptor_done")
+        fault_point(self.system.metrics, "nsf.descriptor_done")
 
     # -- phase 2: scan + sort -----------------------------------------------------
 
@@ -131,11 +133,13 @@ class NSFIndexBuilder(BuilderBase):
             if not batch:
                 break
             yield from tree.ib_insert_batch(ib_txn, batch, cursor)
+            fault_point(self.system.metrics, "nsf.insert_batch")
             highest = batch[-1]
             since_commit += len(batch)
             since_checkpoint += len(batch)
             if commit_every and since_commit >= commit_every:
                 yield from ib_txn.commit()
+                fault_point(self.system.metrics, "nsf.ib_commit")
                 # Footnote 3 of section 2.2.1: the committed frontier can
                 # serve reads of lower key ranges (opt-in, see
                 # repro.query.set_gradual_availability).
@@ -158,8 +162,10 @@ class NSFIndexBuilder(BuilderBase):
                     f"IB-insert-{descriptor.name}")
                 since_checkpoint = 0
                 self.system.metrics.incr("build.insert_checkpoints")
+                fault_point(self.system.metrics, "nsf.insert_checkpoint")
         yield from ib_txn.commit()
         self._mark(f"insert_done:{descriptor.name}")
+        fault_point(self.system.metrics, "nsf.insert_done")
 
     # -- restart (sections 2.2.3 and 2.3.2) ------------------------------------------
 

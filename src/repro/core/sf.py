@@ -30,6 +30,7 @@ from repro.btree.loader import BulkLoader
 from repro.core.base import BuilderBase, IndexSpec
 from repro.core.descriptor import IndexState
 from repro.core.maintenance import BuildContext, SF_MODE, install_maintenance
+from repro.faultinject.sites import fault_point
 from repro.sidefile import SideFile, register_sidefile_operations
 from repro.sim.kernel import Delay
 from repro.sort import RestartableMerger, RunFormation
@@ -47,6 +48,10 @@ class SFIndexBuilder(BuilderBase):
     def __init__(self, system, table, specs, options=None):
         super().__init__(system, table, specs, options)
         self._resume_state: Optional[dict] = None
+        #: loaders prepared by resume for trees cut back to a checkpoint
+        self._resume_loaders: dict[str, BulkLoader] = {}
+        #: descriptors recovering from a torn stable snapshot (section 6)
+        self._torn_recover: set[str] = set()
 
     # -- main process ------------------------------------------------------
 
@@ -73,6 +78,7 @@ class SFIndexBuilder(BuilderBase):
             self.context.current_rid = INFINITY_RID
             runs_by_index = self._finish_sort()
             self._mark("scan_done")
+            fault_point(self.system.metrics, "sf.scan_done")
             # Transition checkpoint: a crash from here resumes by
             # rebuilding the merge from the forced, closed runs.
             self._write_utility_checkpoint({
@@ -87,7 +93,11 @@ class SFIndexBuilder(BuilderBase):
                 if descriptor.name in loaded:
                     continue
                 yield from self._load_phase(
-                    descriptor, mergers.get(descriptor.name), loaded)
+                    descriptor, mergers.get(descriptor.name), loaded,
+                    loader=self._resume_loaders.pop(descriptor.name, None))
+                if descriptor.name in self._torn_recover:
+                    self._torn_recover.discard(descriptor.name)
+                    self._replay_index_log(descriptor)
                 loaded.append(descriptor.name)
                 self._write_utility_checkpoint({
                     "phase": "load-start",
@@ -104,6 +114,7 @@ class SFIndexBuilder(BuilderBase):
                 "position": start,
                 "loaded_indexes": [d.name for d in self.descriptors],
                 "drained_indexes": list(drained)})
+            fault_point(self.system.metrics, "sf.drain_start")
             yield from self._drain_phase(descriptor, start, loaded, drained)
             drained.append(descriptor.name)
 
@@ -131,6 +142,7 @@ class SFIndexBuilder(BuilderBase):
         self._write_utility_checkpoint({
             "phase": "scan", "next_page": 0, "sort": {}})
         self._mark("descriptor_done")
+        fault_point(self.system.metrics, "sf.descriptor_done")
 
     # -- phase 2 hooks: scan limit and Current-RID maintenance ---------------------------
 
@@ -172,6 +184,7 @@ class SFIndexBuilder(BuilderBase):
                 yield Delay(since_yield
                             * self.system.config.bulk_load_key_cost)
                 since_yield = 0
+                fault_point(self.system.metrics, "sf.load_batch")
             if checkpoint_every and since_checkpoint >= checkpoint_every:
                 # Atomic trio: force tree, checkpoint merge counters,
                 # write the WAL checkpoint (section 3.2.4).
@@ -190,6 +203,7 @@ class SFIndexBuilder(BuilderBase):
         loader.finish()
         tree.force()
         self._mark(f"load_done:{descriptor.name}")
+        fault_point(self.system.metrics, "sf.load_done")
 
     # -- phase 4: side-file drain -----------------------------------------------------------
 
@@ -228,15 +242,18 @@ class SFIndexBuilder(BuilderBase):
                         f"IB-drain-{descriptor.name}")
                     since_checkpoint = 0
                     self.system.metrics.incr("build.drain_checkpoints")
+                    fault_point(self.system.metrics, "sf.drain_checkpoint")
             # Atomic completion test: no yields between the length check
             # and the state flip, so a racing append either landed before
             # (and was processed) or lands after the flip and goes
             # directly to the index (section 3.2.5).
+            fault_point(self.system.metrics, "sf.flag_flip.before")
             if position == len(sidefile.entries):
                 descriptor.state = IndexState.AVAILABLE
                 if self.context is not None \
                         and descriptor in self.context.descriptors:
                     self.context.descriptors.remove(descriptor)
+                fault_point(self.system.metrics, "sf.flag_flip.after")
                 break
         tree.verify_unique()
         yield from ib_txn.commit()
@@ -293,6 +310,11 @@ class SFIndexBuilder(BuilderBase):
         mergers: dict[str, RestartableMerger] = {}
         drain_positions: dict[str, int] = {}
         if phase == "scan":
+            # A torn snapshot during the scan phase lost only an empty
+            # tree image; normalize the shell so the load starts clean.
+            for descriptor in self.descriptors:
+                if descriptor.tree.media_damaged:
+                    self._reset_tree(descriptor.tree)
             scan_start = state.get("next_page", 0)
             manifests = state.get("sort", {})
             for descriptor in self.descriptors:
@@ -308,33 +330,151 @@ class SFIndexBuilder(BuilderBase):
             return phase, scan_start, loaded, drained, mergers, \
                 drain_positions
         self.context.current_rid = INFINITY_RID
-        if phase in ("load", "load-start"):
-            if phase == "load":
-                name = state["index"]
-                store = self._store_for(self.system.indexes[name])
-                mergers[name] = RestartableMerger.restore(store,
-                                                          state["merge"])
-            else:
-                name = None
-            for descriptor in self.descriptors:
-                if descriptor.name in loaded or descriptor.name == name:
-                    continue
-                dstore = self._store_for(descriptor)
-                runs = sorted((run for run in dstore.runs.values()
-                               if run.closed),
-                              key=lambda run: run.name)
-                mergers[descriptor.name] = self._final_merger(
-                    descriptor, runs)
-            self.system.metrics.incr("build.resumes.load")
-            return "load", 0, loaded, drained, mergers, drain_positions
+        if phase == "done":
+            return "done", 0, [d.name for d in self.descriptors], \
+                [d.name for d in self.descriptors], mergers, drain_positions
+
+        checkpoint_name = state.get("index") if phase == "load" else None
         if phase == "drain":
             loaded = [d.name for d in self.descriptors]
             drain_positions[state["index"]] = state.get("position", 0)
+
+        # Section 6 fallback: a torn stable snapshot means nothing of the
+        # tree survived, and an SF build cannot be redone from the log
+        # (the bulk load is unlogged).  Pull the descriptor back into the
+        # load phase: rebuild from the forced, closed sort runs, replay
+        # the logged maintenance, then re-drain the side-file.
+        for descriptor in self.descriptors:
+            if not descriptor.tree.media_damaged:
+                continue
+            name = descriptor.name
+            # If the Index_Build flag had already been reset, the
+            # side-file was fully drained and later changes went straight
+            # to the index (they exist only as log records); skip
+            # re-draining that frozen prefix or it would clobber the
+            # replayed direct maintenance.
+            flipped = descriptor.state is IndexState.AVAILABLE
+            sidefile = self.system.sidefiles.get(name)
+            drain_positions[name] = (len(sidefile.entries)
+                                     if flipped and sidefile is not None
+                                     else 0)
+            self._reset_tree(descriptor.tree)
+            descriptor.state = IndexState.BUILDING
+            if self.context is not None \
+                    and descriptor not in self.context.descriptors:
+                self.context.descriptors.append(descriptor)
+            if name in loaded:
+                loaded.remove(name)
+            if name in drained:
+                drained.remove(name)
+            if name == checkpoint_name:
+                checkpoint_name = None
+            self._torn_recover.add(name)
+            self.system.metrics.incr("build.resumes.torn_fallback")
+
+        if checkpoint_name is not None:
+            store = self._store_for(self.system.indexes[checkpoint_name])
+            mergers[checkpoint_name] = RestartableMerger.restore(
+                store, state["merge"])
+            # The tree may hold keys above the checkpoint (its snapshot
+            # was forced before the checkpoint record that never landed);
+            # "the index pages can be reset in such a way that the keys
+            # higher than the checkpointed key disappear" (section 3.2.4).
+            self._align_tree_with_checkpoint(
+                self.system.indexes[checkpoint_name],
+                state.get("highest_key"))
+        for descriptor in self.descriptors:
+            if descriptor.name in loaded \
+                    or descriptor.name == checkpoint_name:
+                continue
+            dstore = self._store_for(descriptor)
+            runs = sorted((run for run in dstore.runs.values()
+                           if run.closed),
+                          key=lambda run: run.name)
+            mergers[descriptor.name] = self._final_merger(
+                descriptor, runs)
+            if descriptor.name not in self._resume_loaders \
+                    and descriptor.tree.root is not None \
+                    and descriptor.tree.key_count(
+                        include_pseudo_deleted=True):
+                # No merge checkpoint for this tree: the whole load
+                # restarts, so any surviving content must go.
+                self._reset_tree(descriptor.tree)
+
+        if len(loaded) == len(self.descriptors):
             self.system.metrics.incr("build.resumes.drain")
             return "drain", 0, loaded, drained, mergers, drain_positions
-        # phase == "done"
-        return "done", 0, [d.name for d in self.descriptors], \
-            [d.name for d in self.descriptors], mergers, drain_positions
+        self.system.metrics.incr("build.resumes.load")
+        return "load", 0, loaded, drained, mergers, drain_positions
+
+    # -- resume helpers -----------------------------------------------------
+
+    def _reset_tree(self, tree) -> None:
+        """Return ``tree`` to the empty state for a from-scratch rebuild."""
+        tree.pages.clear()
+        tree.root = None
+        tree._next_page_no = 0
+        tree.structure_version += 1
+        tree.durable_lsn = 0
+        tree.media_damaged = False
+
+    def _align_tree_with_checkpoint(self, descriptor, highest_key) -> None:
+        """Cut the restored tree back to the checkpointed highest key.
+
+        The checkpoint trio forces the tree *before* writing the WAL
+        checkpoint record, so after a crash in that window the stable
+        tree image can be ahead of the surviving checkpoint; resuming the
+        checkpointed merger against it would re-emit keys the loader
+        already holds.  Rebuild the tree from the entries at or below the
+        checkpointed key and hand the resulting loader to the load phase.
+        """
+        tree = descriptor.tree
+        entries = list(tree.all_entries(include_pseudo_deleted=True))
+        if highest_key is None:
+            if not entries:
+                return
+            keep = []
+        else:
+            bound = (highest_key[0], RID(*highest_key[1]))
+            if all(entry.composite <= bound for entry in entries):
+                return
+            keep = [entry for entry in entries if entry.composite <= bound]
+        self._reset_tree(tree)
+        loader = BulkLoader(
+            tree, fill_free_fraction=self.options.fill_free_fraction)
+        for entry in keep:
+            loader.append(entry.key_value, entry.rid)
+        self._resume_loaders[descriptor.name] = loader
+        self.system.metrics.incr("build.resumes.tree_truncated")
+
+    def _replay_index_log(self, descriptor) -> None:
+        """Re-apply every logged maintenance op for ``descriptor``.
+
+        After a torn snapshot the tree is rebuilt from the closed sort
+        runs, which reflect only the scanned records.  Every change since
+        -- side-file drain applications, direct maintenance after the
+        Index_Build flag flip, and recovery's compensations -- was logged
+        as ``index.apply``; replaying them in LSN order on top of the
+        reloaded tree repeats that history exactly (section 6).
+        """
+        tree = descriptor.tree
+        replayed = 0
+        for record in self.system.log.scan():
+            if record.redo is None:
+                continue
+            op_name, args = record.redo
+            if op_name != "index.apply" \
+                    or args.get("index") != descriptor.name:
+                continue
+            action = args["action"]
+            if action in ("insert_many", "remove_many"):
+                tree.apply_logical(action, None, (0, 0), extra=args)
+            else:
+                tree.apply_logical(action, args["key_value"],
+                                   args["rid"], extra=args)
+            replayed += 1
+        if replayed:
+            self.system.metrics.incr("build.torn_replayed_ops", replayed)
 
 
 def sf_pre_undo(system: "System", utility_state: dict

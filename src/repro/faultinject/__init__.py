@@ -1,0 +1,55 @@
+"""Deterministic fault injection and crash sweeps.
+
+``injector``
+    :class:`FaultPlan` / :class:`FaultInjector`: arm one crash, torn
+    page write, or lost buffer flush at the N-th hit of a named site.
+``sites``
+    :func:`fault_point` and the site registry -- instrumented subsystems
+    (kernel, WAL, buffer pool, B+-tree, side-file, both builders) call
+    this to publish countable crash points through the metrics registry.
+``sweep``
+    The sweep driver: discover every (site, hit) pair reachable in a
+    seeded build, then replay the build once per pair with a fault armed
+    and prove restart + audit passes.  Also the ``python -m
+    repro.faultinject.sweep`` CLI.
+``shrink``
+    Minimal-workload-prefix shrinking for failing plans, with a schedule
+    dump for bug reports.
+
+This ``__init__`` deliberately imports only the leaf modules (injector,
+sites); ``sweep`` and ``shrink`` import the full system stack and must be
+imported explicitly so low-level modules can depend on ``sites`` without
+cycles.
+"""
+
+from repro.faultinject.injector import (
+    CRASH,
+    FaultInjector,
+    FaultPlan,
+    FiredFault,
+    InjectedCrash,
+    KINDS,
+    LOST_FLUSH,
+    TORN_WRITE,
+)
+from repro.faultinject.sites import (
+    LOST_CAPABLE,
+    SITE_DOCS,
+    TORN_CAPABLE,
+    fault_point,
+)
+
+__all__ = [
+    "CRASH",
+    "TORN_WRITE",
+    "LOST_FLUSH",
+    "KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FiredFault",
+    "InjectedCrash",
+    "fault_point",
+    "SITE_DOCS",
+    "TORN_CAPABLE",
+    "LOST_CAPABLE",
+]

@@ -1,0 +1,171 @@
+"""Deterministic single-fault injection.
+
+A :class:`FaultInjector` sits between the instrumented subsystems and the
+simulator.  Instrumented code declares named *fault sites* by calling
+:func:`repro.faultinject.sites.fault_point`; the injector counts every hit
+(publishing ``faultsite.<name>`` counters through the system's
+:class:`~repro.metrics.MetricsRegistry`) and, when armed with a
+:class:`FaultPlan`, fires exactly one fault at the N-th hit of one site:
+
+``crash``
+    Raise :class:`InjectedCrash` (a :class:`~repro.errors.SystemCrash`)
+    from inside the running process -- the kernel stops exactly as it
+    does for any simulated power failure.
+
+``torn-write``
+    The write in progress at the site reaches stable storage damaged
+    (detectable, as a checksum mismatch would be), then the system
+    crashes.  Only sites declared torn-capable honour this kind; today
+    that is the B+-tree snapshot force, modelling a torn write of index
+    pages during SF's unlogged bottom-up build (sections 3.2.4 and 6).
+
+``lost-flush``
+    The page write silently never reaches the disk although the buffer
+    pool's bookkeeping proceeds, and the system crashes immediately --
+    the adversarial instant for the WAL/steal protocol.
+
+Because the simulator is deterministic, the N-th hit of a site happens at
+the same instant in every run with the same seed, so a sweep can first
+*discover* sites with an unarmed injector and then replay one run per
+(site, hit, kind) triple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import SystemCrash
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Process
+    from repro.system import System
+
+#: plain power failure at the site
+CRASH = "crash"
+#: the write at the site lands damaged-but-detectable, then power fails
+TORN_WRITE = "torn-write"
+#: the page write silently never happens, bookkeeping proceeds, power fails
+LOST_FLUSH = "lost-flush"
+
+KINDS = (CRASH, TORN_WRITE, LOST_FLUSH)
+
+
+class InjectedCrash(SystemCrash):
+    """A power failure injected by a :class:`FaultInjector`."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Arm one fault: ``kind`` at the ``hit``-th (1-based) hit of ``site``."""
+
+    site: str
+    hit: int = 1
+    kind: str = CRASH
+
+    def __post_init__(self) -> None:
+        if self.hit < 1:
+            raise ValueError(f"hit numbers are 1-based, got {self.hit}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def describe(self) -> str:
+        return f"{self.kind}@{self.site}#{self.hit}"
+
+
+@dataclass
+class FiredFault:
+    """What actually fired (recorded for reports and shrink dumps)."""
+
+    site: str
+    hit: int
+    kind: str
+    sim_time: float = 0.0
+
+
+class FaultInjector:
+    """Counts fault-site hits and fires at most one armed fault.
+
+    Install on a system with :meth:`install`; the system's metrics
+    registry and simulator then route every site hit here.  A fresh
+    system built by restart recovery gets a fresh registry, so the
+    injector is automatically disarmed for the recovery and resume run
+    (the single-fault model the sweep proves recovery under).
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None, *,
+                 watch_processes: tuple = ("builder", "resumed")) -> None:
+        self.plan = plan
+        #: process names whose scheduler steps count as kernel fault sites
+        self.watch_processes = set(watch_processes)
+        self.hits: dict[str, int] = {}
+        self.fired: Optional[FiredFault] = None
+        self.system: Optional["System"] = None
+
+    # -- wiring --------------------------------------------------------
+
+    def install(self, system: "System") -> "FaultInjector":
+        """Attach to ``system``: every fault_point and kernel step of a
+        watched process now reports here."""
+        self.system = system
+        system.metrics.fault_injector = self
+        system.sim.fault_injector = self
+        return self
+
+    def uninstall(self) -> None:
+        if self.system is not None:
+            self.system.metrics.fault_injector = None
+            self.system.sim.fault_injector = None
+            self.system = None
+
+    # -- the hot path --------------------------------------------------
+
+    def hit(self, site: str) -> Optional[str]:
+        """Record one hit of ``site``.
+
+        Returns None normally.  When the armed plan matches and its kind
+        is ``crash``, raises :class:`InjectedCrash`; for the damage kinds
+        the *site* applies the damage, so the kind string is returned and
+        the caller is responsible for raising the crash after damaging
+        its write (see :func:`repro.faultinject.sites.fault_point`).
+        """
+        count = self.hits.get(site, 0) + 1
+        self.hits[site] = count
+        plan = self.plan
+        if plan is None or self.fired is not None:
+            return None
+        if plan.site != site or plan.hit != count:
+            return None
+        self.fired = FiredFault(site=site, hit=count, kind=plan.kind,
+                                sim_time=self._now())
+        if plan.kind == CRASH:
+            raise InjectedCrash(
+                f"injected power failure at {site} hit #{count}")
+        return plan.kind
+
+    def kernel_step(self, proc: "Process") -> Optional[InjectedCrash]:
+        """Called by the simulator before dispatching ``proc``.
+
+        Returns an :class:`InjectedCrash` to throw into the process when
+        the armed plan targets this step, else None.  Only processes in
+        :attr:`watch_processes` are counted (one site per process name),
+        keeping the site space finite.
+        """
+        if proc.name not in self.watch_processes:
+            return None
+        site = f"kernel.step.{proc.name}"
+        try:
+            self.hit(site)
+        except InjectedCrash as crash:
+            return crash
+        return None
+
+    def _now(self) -> float:
+        if self.system is not None:
+            return self.system.sim.now
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        armed = self.plan.describe() if self.plan is not None else "unarmed"
+        state = "fired" if self.fired else "waiting"
+        return f"<FaultInjector {armed} {state} sites={len(self.hits)}>"

@@ -1,0 +1,90 @@
+"""Shrink a failing fault plan to a minimal reproduction.
+
+When a sweep plan fails, the interesting schedule is usually reachable
+with far less workload than the sweep ran.  :func:`shrink_failure`
+re-runs the same (site, hit, kind) plan while halving the preloaded
+record count and the concurrent operation count, keeping each reduction
+only if the failure persists.  Because the simulator is deterministic,
+the shrunk configuration is an exact reproduction recipe, and
+:func:`schedule_dump` renders it (plus the fired fault and the site hit
+census of the failing run) as a paste-able bug report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.faultinject.injector import FaultPlan
+from repro.faultinject.sweep import PlanResult, SweepConfig, run_plan
+
+#: never shrink below these (the build needs *some* table to index)
+MIN_RECORDS = 20
+MIN_OPERATIONS = 0
+
+
+@dataclass
+class ShrinkResult:
+    """The smallest configuration that still reproduces the failure."""
+
+    plan: FaultPlan
+    config: SweepConfig
+    result: PlanResult
+    attempts: int
+
+    def report(self) -> str:
+        return schedule_dump(self.plan, self.config, self.result,
+                             attempts=self.attempts)
+
+
+def shrink_failure(config: SweepConfig, plan: FaultPlan,
+                   max_attempts: int = 16) -> ShrinkResult:
+    """Minimize ``config`` while ``plan`` still fails under it.
+
+    Greedy halving, one field at a time (records, then operations, then
+    workers); each candidate is a full injected run, so the cost is a
+    handful of extra simulations.  If the plan does not actually fail
+    under ``config``, the original configuration is returned untouched.
+    """
+    best = run_plan(config, plan)
+    attempts = 1
+    if best.passed:
+        return ShrinkResult(plan=plan, config=config, result=best,
+                            attempts=attempts)
+    current = config
+    for field_name, floor in (("records", MIN_RECORDS),
+                              ("operations", MIN_OPERATIONS),
+                              ("workers", 1)):
+        while attempts < max_attempts:
+            value = getattr(current, field_name)
+            smaller = max(floor, value // 2)
+            if smaller == value:
+                break
+            candidate = replace(current, **{field_name: smaller})
+            result = run_plan(candidate, plan)
+            attempts += 1
+            if result.failed:
+                current, best = candidate, result
+            else:
+                break
+    return ShrinkResult(plan=plan, config=current, result=best,
+                        attempts=attempts)
+
+
+def schedule_dump(plan: FaultPlan, config: SweepConfig,
+                  result: PlanResult, attempts: int = 1) -> str:
+    """Render a deterministic reproduction recipe for a failing plan."""
+    lines = [
+        f"fault plan  : {plan.describe()}",
+        f"failure     : {result.detail or '(passed)'}",
+        f"fired       : {'yes, at t=%.3f' % result.fired_at if result.fired else 'no'}",
+        "reproduce   : run_plan(SweepConfig("
+        f"builder={config.builder!r}, records={config.records}, "
+        f"operations={config.operations}, workers={config.workers}, "
+        f"seed={config.seed}), "
+        f"FaultPlan({plan.site!r}, {plan.hit}, {plan.kind!r}))",
+        f"shrink runs : {attempts}",
+        "site hits in the failing run:",
+    ]
+    for site in sorted(result.site_hits):
+        lines.append(f"  {site:<32} {result.site_hits[site]:>6}")
+    return "\n".join(lines)

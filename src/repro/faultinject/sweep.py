@@ -1,0 +1,357 @@
+"""Crash-sweep driver: crash a build at every fault site, prove recovery.
+
+The sweep exploits the simulator's determinism (section 7's argument that
+restart recovery "can be tested systematically"):
+
+1. **Discover** -- run one clean seeded build with an *unarmed*
+   :class:`~repro.faultinject.injector.FaultInjector` installed; every
+   :func:`~repro.faultinject.sites.fault_point` hit is counted, leaving
+   the full list of reachable (site, hit-count) pairs.
+2. **Enumerate** -- pick crash instants per site (first hit, last hit,
+   optionally a middle hit) and fault kinds per site capability.
+3. **Replay** -- for each plan, re-run the identical seeded build with
+   the fault armed; the fault fires at exactly the discovered instant.
+4. **Prove** -- restart recovery, resume (or re-issue) the build, run it
+   to completion and :func:`~repro.verify.audit_index` the result.  Any
+   exception or audit failure is a sweep failure.
+
+CLI::
+
+    python -m repro.faultinject.sweep --builder sf --records 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core import (
+    BUILDERS,
+    BuildOptions,
+    IndexSpec,
+    build_pre_undo,
+    resume_build,
+)
+from repro.faultinject.injector import (
+    CRASH,
+    FaultInjector,
+    FaultPlan,
+    LOST_FLUSH,
+    TORN_WRITE,
+)
+from repro.faultinject.sites import LOST_CAPABLE, SITE_DOCS, TORN_CAPABLE
+from repro.recovery import restart
+from repro.system import System, SystemConfig
+from repro.verify import audit_index
+from repro.workloads import WorkloadDriver, WorkloadSpec
+
+INDEX_NAME = "idx"
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One sweep's fully deterministic build recipe."""
+
+    builder: str = "sf"
+    records: int = 500          # heap rows preloaded before the build
+    operations: int = 150       # concurrent update ops during the build
+    workers: int = 2
+    seed: int = 7
+    buffer_frames: int = 80     # modest pool; large tables reach evictions
+    checkpoint_every_pages: int = 8
+    checkpoint_every_keys: int = 48
+    commit_every_keys: int = 24
+    max_hits_per_site: int = 2  # 1 = first hit only, 2 = first+last, 3 = +middle
+    include_damage_kinds: bool = True
+    max_plans: Optional[int] = None
+
+    def system_config(self) -> SystemConfig:
+        return SystemConfig(page_capacity=8, leaf_capacity=8,
+                            buffer_frames=self.buffer_frames,
+                            sort_workspace=16, merge_fanin=4)
+
+    def build_options(self) -> BuildOptions:
+        return BuildOptions(
+            checkpoint_every_pages=self.checkpoint_every_pages,
+            checkpoint_every_keys=self.checkpoint_every_keys,
+            commit_every_keys=self.commit_every_keys)
+
+
+@dataclass
+class PlanResult:
+    """Outcome of one injected run."""
+
+    plan: FaultPlan
+    fired: bool = False
+    fired_at: float = 0.0
+    passed: bool = False
+    detail: str = ""
+    site_hits: dict = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return not self.passed
+
+
+@dataclass
+class SweepReport:
+    """Per-plan results plus the discovery census."""
+
+    config: SweepConfig
+    discovered: dict
+    results: list
+
+    @property
+    def sites(self) -> list:
+        return sorted(self.discovered)
+
+    @property
+    def failures(self) -> list:
+        return [r for r in self.results if r.failed]
+
+    @property
+    def all_passed(self) -> bool:
+        return not self.failures
+
+    def to_text(self) -> str:
+        lines = [
+            f"crash sweep: builder={self.config.builder} "
+            f"records={self.config.records} seed={self.config.seed}",
+            f"{len(self.discovered)} fault sites discovered, "
+            f"{len(self.results)} plans run",
+            "",
+            f"{'site':<32} {'hits':>6}  plans  result",
+        ]
+        by_site: dict[str, list[PlanResult]] = {}
+        for result in self.results:
+            by_site.setdefault(result.plan.site, []).append(result)
+        for site in self.sites:
+            site_results = by_site.get(site, [])
+            bad = [r for r in site_results if r.failed]
+            if not site_results:
+                verdict = "-"
+            elif not bad:
+                verdict = "PASS"
+            else:
+                verdict = f"FAIL ({', '.join(r.plan.describe() for r in bad)})"
+            lines.append(f"{site:<32} {self.discovered[site]:>6}  "
+                         f"{len(site_results):>5}  {verdict}")
+        lines.append("")
+        lines.append(f"{len(self.results) - len(self.failures)}/"
+                     f"{len(self.results)} plans recovered and audited clean")
+        for result in self.failures:
+            lines.append(f"  FAIL {result.plan.describe()}: {result.detail}")
+        return "\n".join(lines)
+
+
+# -- one deterministic build run ---------------------------------------------
+
+
+def _start_build(config: SweepConfig,
+                 injector: Optional[FaultInjector] = None):
+    """Preload the table, then launch the builder and the workload.
+
+    Returns ``(system, table, driver, builder_proc)``.  The injector is
+    installed *after* the preload, so site hit counts (and therefore plan
+    hit numbers) cover exactly the build-era schedule.
+    """
+    system = System(config.system_config(), seed=config.seed)
+    table = system.create_table("t", ["k", "p"])
+    spec = WorkloadSpec(operations=config.operations, workers=config.workers,
+                        think_time=1.0, rollback_fraction=0.2)
+    driver = WorkloadDriver(system, table, spec, seed=config.seed)
+    preload = system.spawn(driver.preload(config.records), name="preload")
+    system.run()
+    if preload.error is not None:  # pragma: no cover - setup bug
+        raise preload.error
+    if injector is not None:
+        injector.install(system)
+    builder_cls = BUILDERS[config.builder]
+    builder = builder_cls(system, table, IndexSpec.of(INDEX_NAME, ["k"]),
+                          options=config.build_options())
+    proc = system.spawn(builder.run(), name="builder")
+    driver.spawn_workers()
+    return system, table, proc
+
+
+def discover(config: SweepConfig) -> dict:
+    """Run the build once, unarmed; return the {site: hit count} census.
+
+    Also asserts the clean run completes and audits, so a broken baseline
+    is reported as such rather than as a wall of injected failures.
+    """
+    injector = FaultInjector()
+    system, _table, proc = _start_build(config, injector)
+    system.run()
+    if proc.error is not None:
+        raise proc.error
+    if system.sim.crashed:  # pragma: no cover - nothing armed
+        raise RuntimeError("clean discovery run crashed")
+    audit_index(system, system.indexes[INDEX_NAME])
+    return dict(injector.hits)
+
+
+def _recover_and_audit(config: SweepConfig, system: System) -> str:
+    """Restart, resume (or re-issue) the build, audit; '' or failure text."""
+    recovered, state = restart(system, pre_undo=build_pre_undo)
+    resumed = resume_build(recovered, state)
+    if resumed is not None:
+        proc = recovered.spawn(resumed.run(), name="resumed")
+        recovered.run()
+        if proc.error is not None:
+            raise proc.error
+    if INDEX_NAME not in recovered.indexes:
+        # The crash landed before the build's first checkpoint: the
+        # orphaned descriptor was discarded and the build is simply
+        # reissued from scratch (the documented contract).
+        rebuild_cls = BUILDERS[config.builder]
+        table = recovered.tables["t"]
+        rebuilder = rebuild_cls(recovered, table,
+                                IndexSpec.of(INDEX_NAME, ["k"]),
+                                options=config.build_options())
+        proc = recovered.spawn(rebuilder.run(), name="resumed")
+        recovered.run()
+        if proc.error is not None:
+            raise proc.error
+    descriptor = recovered.indexes[INDEX_NAME]
+    from repro.core.descriptor import IndexState
+    if descriptor.state is not IndexState.AVAILABLE:
+        return f"index state {descriptor.state!r} after resume"
+    audit_index(recovered, descriptor)
+    return ""
+
+
+def run_plan(config: SweepConfig, plan: FaultPlan) -> PlanResult:
+    """Replay the seeded build with ``plan`` armed; recover and audit."""
+    result = PlanResult(plan=plan)
+    injector = FaultInjector(plan)
+    system, _table, proc = _start_build(config, injector)
+    system.run()
+    result.site_hits = dict(injector.hits)
+    if injector.fired is None:
+        # The site/hit pair was not reached (possible when a config diff
+        # from discovery changes the schedule); the run is then a clean
+        # build and must still audit.
+        result.detail = "fault did not fire"
+        if proc.error is not None:
+            result.detail = f"did not fire; builder error: {proc.error!r}"
+            return result
+        try:
+            audit_index(system, system.indexes[INDEX_NAME])
+        except Exception as exc:  # noqa: BLE001 - report, don't mask
+            result.detail = f"did not fire; audit failed: {exc!r}"
+            return result
+        result.passed = True
+        return result
+    result.fired = True
+    result.fired_at = injector.fired.sim_time
+    if not system.sim.crashed:
+        result.detail = "fault fired but system did not crash"
+        return result
+    try:
+        failure = _recover_and_audit(config, system)
+    except Exception as exc:  # noqa: BLE001 - report, don't mask
+        result.detail = f"recovery raised: {exc!r}"
+        return result
+    if failure:
+        result.detail = failure
+        return result
+    result.passed = True
+    return result
+
+
+# -- plan enumeration ---------------------------------------------------------
+
+
+def enumerate_plans(config: SweepConfig, discovered: dict) -> list:
+    """Stratified (site, hit, kind) plans from the discovery census.
+
+    Per site: the first hit, the last hit, and (at ``max_hits_per_site``
+    >= 3) a middle hit.  Damage kinds are added only where the site can
+    express them (:data:`TORN_CAPABLE` / :data:`LOST_CAPABLE`).
+    """
+    plans = []
+    for site in sorted(discovered):
+        count = discovered[site]
+        hits = {1}
+        if config.max_hits_per_site >= 2 and count > 1:
+            hits.add(count)
+        if config.max_hits_per_site >= 3 and count > 2:
+            hits.add((count + 1) // 2)
+        for hit in sorted(hits):
+            plans.append(FaultPlan(site, hit, CRASH))
+            if config.include_damage_kinds:
+                if site in TORN_CAPABLE:
+                    plans.append(FaultPlan(site, hit, TORN_WRITE))
+                if site in LOST_CAPABLE:
+                    plans.append(FaultPlan(site, hit, LOST_FLUSH))
+    if config.max_plans is not None:
+        plans = plans[:config.max_plans]
+    return plans
+
+
+def run_sweep(config: SweepConfig,
+              progress=None) -> SweepReport:
+    """Discover, enumerate and run every plan; return the report."""
+    discovered = discover(config)
+    plans = enumerate_plans(config, discovered)
+    results = []
+    for index, plan in enumerate(plans):
+        result = run_plan(config, plan)
+        results.append(result)
+        if progress is not None:
+            status = "ok" if result.passed else f"FAIL: {result.detail}"
+            progress(f"[{index + 1}/{len(plans)}] "
+                     f"{plan.describe():<40} {status}")
+    return SweepReport(config=config, discovered=discovered,
+                       results=results)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Crash-sweep a seeded online index build: inject one "
+                    "fault per (site, hit) pair and prove restart "
+                    "recovery + audit.")
+    parser.add_argument("--builder", choices=("nsf", "sf"), default="sf")
+    parser.add_argument("--records", type=int, default=500)
+    parser.add_argument("--operations", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--max-hits-per-site", type=int, default=2)
+    parser.add_argument("--max-plans", type=int, default=None)
+    parser.add_argument("--no-damage-kinds", action="store_true",
+                        help="inject plain crashes only")
+    parser.add_argument("--list-sites", action="store_true",
+                        help="discover and list fault sites, then exit")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    config = SweepConfig(
+        builder=args.builder,
+        records=args.records,
+        operations=args.operations,
+        seed=args.seed,
+        max_hits_per_site=args.max_hits_per_site,
+        include_damage_kinds=not args.no_damage_kinds,
+        max_plans=args.max_plans,
+    )
+    if args.list_sites:
+        discovered = discover(config)
+        for site in sorted(discovered):
+            doc = SITE_DOCS.get(site, "(dynamic site)")
+            print(f"{site:<32} {discovered[site]:>6}  {doc}")
+        print(f"{len(discovered)} sites")
+        return 0
+    progress = None if args.quiet else \
+        lambda line: print(line, file=sys.stderr, flush=True)
+    report = run_sweep(config, progress=progress)
+    print(report.to_text())
+    return 0 if report.all_passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

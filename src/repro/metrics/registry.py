@@ -5,11 +5,18 @@ one :class:`MetricsRegistry` owned by the enclosing :class:`repro.system.System`
 The registry is intentionally simple: named monotonic counters plus named
 value-series summaries (count / sum / min / max).  Benchmarks read a
 snapshot before and after a run and print deltas.
+
+The registry is also the attachment point for fault injection
+(:mod:`repro.faultinject`): instrumented code reports fault-site hits as
+``faultsite.<name>`` counters, and an armed
+:class:`~repro.faultinject.injector.FaultInjector` hangs off
+:attr:`MetricsRegistry.fault_injector`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Optional
 
 
 @dataclass
@@ -18,20 +25,54 @@ class SeriesStat:
 
     count: int = 0
     total: float = 0.0
-    minimum: float = float("inf")
-    maximum: float = float("-inf")
+    _min: float = field(default=float("inf"), repr=False)
+    _max: float = field(default=float("-inf"), repr=False)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observed value, or 0.0 with zero observations."""
+        return self._min if self.count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest observed value, or 0.0 with zero observations."""
+        return self._max if self.count else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """Serialisable summary; min/max are 0.0 for an empty series."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+        }
+
+    def delta(self, before: "SeriesStat") -> "SeriesStat":
+        """Observations added since ``before`` (an earlier copy of self).
+
+        Min/max cannot be recovered for the difference window alone, so the
+        delta carries the current window extremes -- still 0.0-safe when
+        nothing was observed at all.
+        """
+        result = SeriesStat(count=self.count - before.count,
+                            total=self.total - before.total)
+        if result.count:
+            result._min = self._min
+            result._max = self._max
+        return result
 
 
 @dataclass
@@ -40,6 +81,9 @@ class MetricsRegistry:
 
     counters: dict[str, int] = field(default_factory=dict)
     series: dict[str, SeriesStat] = field(default_factory=dict)
+    #: Installed fault injector, if any (see :mod:`repro.faultinject`).
+    fault_injector: Optional[Any] = field(default=None, repr=False,
+                                          compare=False)
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Increase counter ``name`` by ``amount`` (creating it at 0)."""

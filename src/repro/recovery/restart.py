@@ -51,8 +51,10 @@ def restart(crashed: System, config: Optional[SystemConfig] = None,
     checkpoint = system.log.latest_checkpoint()
     utility_state = dict(checkpoint.info.get("utility_state", {})) \
         if checkpoint is not None else {}
+    _discard_orphan_builds(system, utility_state)
 
     txn_table, redo_start = _analysis(system, checkpoint)
+    redo_start = _plan_damaged_trees(system, utility_state, redo_start)
     _recover_page_counts(system)  # undo handlers need valid page bounds
 
     if pre_undo is not None:
@@ -109,6 +111,55 @@ def _rebuild_catalog(crashed: System, system: System) -> None:
     for table in system.tables.values():
         if table.indexes:
             install_maintenance(system, table)
+
+
+def _discard_orphan_builds(system: System, utility_state: dict) -> None:
+    """Drop BUILDING descriptors the surviving checkpoint never recorded.
+
+    A crash between descriptor creation and the build's first utility
+    checkpoint leaves a descriptor (plus side-file and sort-run store)
+    with no resume information; the build must be reissued from scratch,
+    so detach the orphans instead of recovering into them.
+    """
+    from repro.core.descriptor import IndexState  # lazy: avoid cycle
+
+    known = set(utility_state.get("indexes", []))
+    for name, descriptor in list(system.indexes.items()):
+        if descriptor.state is not IndexState.BUILDING or name in known:
+            continue
+        descriptor.detach()
+        system.sidefiles.pop(name, None)
+        system.run_stores.pop(f"sort:{name}", None)
+        system.metrics.incr("recovery.orphan_builds_discarded")
+
+
+def _plan_damaged_trees(system: System, utility_state: dict,
+                        redo_start: int) -> int:
+    """Choose a rebuild strategy for trees whose stable snapshot was torn.
+
+    An SF build's tree cannot be redone from the log -- the bulk load is
+    unlogged (section 3.1) -- so redo and undo skip it entirely
+    (``media_damaged`` stays set) and the resumed build re-extracts the
+    index from the forced, closed sort runs (section 6).  Any other tree
+    is fully logged: reset its redo watermark and replay the whole log.
+    """
+    from repro.core.maintenance import SF_MODE  # lazy: avoid cycle
+
+    sf_indexes = set(utility_state.get("indexes", [])) \
+        if utility_state.get("builder") == SF_MODE else set()
+    for name, descriptor in system.indexes.items():
+        tree = descriptor.tree
+        if not tree.media_damaged:
+            continue
+        if name in sf_indexes:
+            tree.durable_lsn = float("inf")  # nothing to redo into it
+            system.metrics.incr("recovery.torn_trees.sf")
+        else:
+            tree.media_damaged = False
+            tree.durable_lsn = 0
+            redo_start = 1
+            system.metrics.incr("recovery.torn_trees.replayed")
+    return redo_start
 
 
 # -- analysis --------------------------------------------------------------------

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, TYPE_CHECKING
 
+from repro.faultinject.sites import fault_point
 from repro.sim.kernel import Delay
 from repro.storage.rid import RID
 from repro.wal.records import LogRecord, RecordKind
@@ -87,6 +88,7 @@ class SideFile:
             txn_id=txn.txn_id,
         )
         self.entries.append(entry)
+        fault_point(self.system.metrics, "sidefile.append")
         self.system.metrics.incr("sidefile.appends")
         return entry
 
@@ -126,6 +128,7 @@ class SideFile:
 
     def force(self) -> None:
         """Make every current entry crash-survivable (IB drain checkpoint)."""
+        fault_point(self.system.metrics, "sidefile.force")
         self.durable_length = len(self.entries)
         if self.entries:
             self.system.log.flush(self.entries[-1].lsn)

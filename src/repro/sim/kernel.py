@@ -140,6 +140,10 @@ class Simulator:
         #: synchronously from a process body may read this to identify the
         #: caller (e.g. for latch ownership).
         self.current: Optional[Process] = None
+        #: Installed fault injector (see :mod:`repro.faultinject`); when
+        #: set, it is consulted before every dispatch of a watched process
+        #: so a crash can land on any scheduler step.
+        self.fault_injector: Optional[Any] = None
 
     # -- spawning -------------------------------------------------------
 
@@ -201,6 +205,10 @@ class Simulator:
                 return
 
     def _step(self, proc: Process, value: Any, throw: bool) -> None:
+        if self.fault_injector is not None and not throw:
+            crash = self.fault_injector.kernel_step(proc)
+            if crash is not None:
+                value, throw = crash, True
         self.current = proc
         try:
             if throw:

@@ -18,6 +18,8 @@ from collections import OrderedDict
 from typing import Iterator, Optional
 
 from repro.errors import StorageError
+from repro.faultinject.injector import InjectedCrash
+from repro.faultinject.sites import fault_point
 from repro.metrics import MetricsRegistry
 from repro.sim.kernel import Delay
 from repro.storage.disk import Disk
@@ -143,6 +145,12 @@ class BufferPool:
             return
         self.log.flush(page.page_lsn)
         yield Delay(self.disk.write_cost(1))
+        kind = fault_point(self.metrics, "buffer.page_flush")
+        if kind is not None:
+            # lost-flush: the write never reaches the platter although the
+            # pool's bookkeeping proceeds; power fails immediately after.
+            del self.dirty[page_id]
+            raise InjectedCrash(f"lost page flush of {page_id}")
         self.disk.write_page(page)
         del self.dirty[page_id]
         self.metrics.incr("buffer.page_flushes")
@@ -170,6 +178,10 @@ class BufferPool:
             # steal: write the (possibly uncommitted) page out, WAL first
             self.log.flush(victim.page_lsn)
             yield Delay(self.disk.write_cost(1))
+            kind = fault_point(self.metrics, "buffer.evict_dirty")
+            if kind is not None:
+                del self.dirty[victim_id]
+                raise InjectedCrash(f"lost eviction write of {victim_id}")
             self.disk.write_page(victim)
             del self.dirty[victim_id]
             self.metrics.incr("buffer.evictions.dirty")

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional
 
 from repro.errors import WALError
+from repro.faultinject.sites import fault_point
 from repro.metrics import MetricsRegistry
 from repro.wal.records import LogRecord, OperationRegistry, RecordKind
 
@@ -63,6 +64,7 @@ class LogManager:
             info=dict(info or {}),
         )
         self.records.append(record)
+        fault_point(self.metrics, "wal.append")
         self.metrics.incr("wal.records")
         self.metrics.incr(f"wal.records.{writer}")
         self.metrics.incr("wal.bytes", record.size)
@@ -82,7 +84,9 @@ class LogManager:
         if target > len(self.records):
             raise WALError(f"cannot flush to future LSN {target}")
         if target > self.flushed_lsn:
+            fault_point(self.metrics, "wal.force.before")
             self.flushed_lsn = target
+            fault_point(self.metrics, "wal.force.after")
             self.metrics.incr("wal.forces")
 
     def crash(self) -> None:
@@ -129,6 +133,10 @@ class LogManager:
             writer="system",
         )
         self.flush(record.lsn)
+        # The checkpoint record is stable but the master record still
+        # points at the previous checkpoint -- a crash here must recover
+        # from the *old* checkpoint and ignore the new one.
+        fault_point(self.metrics, "wal.checkpoint.before_master")
         self.master_checkpoint_lsn = record.lsn
         return record
 
