@@ -1,0 +1,640 @@
+"""Wall-clock perf-regression suite (``python -m repro.bench.perf``).
+
+The simulator benches in ``benchmarks/`` measure *simulated* cost; this
+suite measures the *host* cost of running them -- the trajectory the repo
+tracks across PRs so hot-path regressions are caught in CI.  It runs a
+fixed set of deterministic scenarios:
+
+* end-to-end builds (offline / NSF / SF at several row counts, with and
+  without a concurrent update workload), recording wall-clock keys/sec,
+  simulated build time, and the key metric counters;
+* micro-benchmarks for the known hot paths: IB's multi-key insert,
+  replacement-selection run formation, the final-merge ``pop_many``
+  supply loop, the SF side-file drain, and side-file WAL redo.
+
+The IB-insert micro-benchmark runs twice -- once against
+:class:`LegacyBTree`, a verbatim copy of the pre-optimization hot paths,
+and once against the shipped tree -- and records the speedup ratio.  The
+ratio is machine-independent (both sides run in the same process), so CI
+compares ratios, not absolute times, against the committed baseline JSON.
+
+Results are written as schema-stable JSON (see :data:`SCHEMA_VERSION` and
+:func:`validate_payload`)::
+
+    python -m repro.bench.perf --out BENCH_PR2.json
+    python -m repro.bench.perf --out /tmp/now.json --smoke \\
+        --check-against BENCH_PR2.json --max-regression 0.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Any, Callable, Optional
+
+from repro.bench.harness import bench_config, run_build_experiment
+from repro.btree.tree import BTree, IBCursor
+from repro.btree.node import KeyEntry
+from repro.core import BuildOptions
+from repro.faultinject.sites import fault_point
+from repro.sim.kernel import Acquire, Delay
+from repro.sim.latch import EXCLUSIVE
+from repro.sort import RunFormation, RunStore, final_merger
+from repro.storage.rid import RID
+from repro.system import System, SystemConfig
+from repro.wal.records import RecordKind
+
+SCHEMA_VERSION = 1
+SUITE_NAME = "repro.bench.perf"
+
+#: the acceptance floor for the IB-insert speedup recorded in the JSON
+MIN_IB_SPEEDUP = 1.5
+
+
+class LegacyBTree(BTree):
+    """The pre-optimization B+-tree hot paths, copied verbatim.
+
+    Baseline side of the IB-insert micro-benchmark: the shipped tree is
+    compared against the exact code it replaced, in the same process on
+    the same machine, so the recorded speedup is a pure code-path ratio.
+    The copied behaviors: per-key metric increments, two defensive key
+    list copies per IB log record, and -- the dominant cost -- a full
+    bounds-cache invalidation on every split, which makes the next
+    ``_leaf_covers`` pay an O(pages) structural search.
+    """
+
+    def _path_to_leaf(self, leaf_no):
+        if self.root == leaf_no:
+            return []
+        path = []
+
+        def descend(page_no):
+            node = self.pages[page_no]
+            if not hasattr(node, "children"):  # leaf
+                return node.page_no == leaf_no
+            for slot, child in enumerate(node.children):
+                path.append((node, slot))
+                if descend(child):
+                    return True
+                path.pop()
+            return False
+
+        if self.root is None or not descend(self.root):
+            raise AssertionError(f"leaf {leaf_no} unreachable")
+        return path
+
+    def _finish_split(self, left, right, separator, path):
+        fault_point(self.system.metrics, "btree.split")
+        self.structure_version += 1
+        self.system.metrics.incr("index.splits")
+        self.system.log.append(
+            None, RecordKind.UPDATE,
+            redo=("index.split", {"index": self.name,
+                                  "left": left.page_no,
+                                  "right": right.page_no}),
+            writer="system",
+            info={"index": self.name},
+        )
+        if not path:
+            new_root = self._allocate_branch()
+            new_root.separators = [separator]
+            new_root.children = [left.page_no, right.page_no]
+            self.root = new_root.page_no
+            return
+        parent, slot = path[-1]
+        parent.separators.insert(slot, separator)
+        parent.children.insert(slot + 1, right.page_no)
+        if parent.is_full:
+            self._split_branch(parent, path[:-1])
+
+    def _split_branch(self, branch, path):
+        new_branch = self._allocate_branch()
+        mid = len(branch.separators) // 2
+        push_up = branch.separators[mid]
+        new_branch.separators = branch.separators[mid + 1:]
+        new_branch.children = branch.children[mid + 1:]
+        del branch.separators[mid:]
+        del branch.children[mid + 1:]
+        self.structure_version += 1
+        self.system.metrics.incr("index.splits")
+        if not path:
+            new_root = self._allocate_branch()
+            new_root.separators = [push_up]
+            new_root.children = [branch.page_no, new_branch.page_no]
+            self.root = new_root.page_no
+            return
+        parent, slot = path[-1]
+        parent.separators.insert(slot, push_up)
+        parent.children.insert(slot + 1, new_branch.page_no)
+        if parent.is_full:
+            self._split_branch(parent, path[:-1])
+
+    def ib_insert_batch(self, ib_txn, keys, cursor, *, write_log=True):
+        inserted = 0
+        work = [(kv, RID(*raw_rid)) for kv, raw_rid in keys]
+        index = 0
+        while index < len(work):
+            key_value, rid = work[index]
+            leaf = self._locate_ib_leaf(cursor, (key_value, rid))
+            yield Acquire(leaf.latch, EXCLUSIVE)
+            if not self._leaf_covers(leaf, (key_value, rid)):
+                leaf.latch.release(self.system.sim.current)
+                cursor.leaf_no = None
+                continue
+            pending: list[tuple] = []
+            unique_check: Optional[tuple] = None
+            try:
+                while index < len(work):
+                    key_value, rid = work[index]
+                    composite = (key_value, rid)
+                    if not self._leaf_covers(leaf, composite):
+                        break
+                    action = self._ib_classify(leaf, key_value, rid)
+                    if action == "unique-check":
+                        unique_check = (key_value, rid)
+                        break
+                    if action == "reject":
+                        self.system.metrics.incr(
+                            "index.duplicate_rejections.ib")
+                        index += 1
+                        continue
+                    target = self._insert_sorted(
+                        leaf, KeyEntry(key_value, rid),
+                        specialized_for_ib=True)
+                    self.system.metrics.incr("index.inserts.ib")
+                    inserted += 1
+                    pending.append((key_value, tuple(rid)))
+                    index += 1
+                    cursor.leaf_no = target.page_no
+                    cursor.version = self.structure_version
+                    if target is not leaf:
+                        break
+                if write_log and pending:
+                    self._log_ib_batch(ib_txn, pending)
+            finally:
+                leaf.latch.release(self.system.sim.current)
+            if pending:
+                fault_point(self.system.metrics, "btree.ib_insert")
+                yield Delay(self.system.config.key_op_cost
+                            * len(pending))
+            if unique_check is not None:
+                settled = yield from self._ib_unique_check(
+                    ib_txn, *unique_check)
+                if not settled:
+                    index += 1
+        return inserted
+
+    def _log_ib_batch(self, ib_txn, keys):
+        ib_txn.log(
+            RecordKind.UPDATE,
+            redo=("index.apply", {"index": self.name,
+                                  "action": "insert_many",
+                                  "keys": list(keys)}),
+            undo=("index.undo", {"index": self.name,
+                                 "action": "remove_many",
+                                 "keys": list(keys)}),
+            info={"index": self.name},
+            writer="ib",
+        )
+
+
+# ---------------------------------------------------------------------------
+# micro-benchmark bodies
+# ---------------------------------------------------------------------------
+
+
+def _sorted_keys(count: int, seed: int) -> list[tuple]:
+    """Deterministic sorted ``(key_value, raw_rid)`` pairs (IB's diet)."""
+    rng = random.Random(seed)
+    values = sorted(rng.sample(range(count * 10), count))
+    return [(value, (i // 64, i % 64)) for i, value in enumerate(values)]
+
+
+def _ib_insert_run(tree_cls, keys: list[tuple], *, batch: int,
+                   leaf_capacity: int, seed: int) -> dict:
+    """Drive ``tree_cls.ib_insert_batch`` over ``keys``; time the run."""
+    config = SystemConfig(leaf_capacity=leaf_capacity, branch_capacity=8)
+    system = System(config, seed=seed)
+    tree = tree_cls(system, "bench-idx", "bench-table")
+    txn = system.txns.begin("ib-micro")
+    cursor = IBCursor()
+
+    def driver():
+        for start in range(0, len(keys), batch):
+            yield from tree.ib_insert_batch(
+                txn, keys[start:start + batch], cursor)
+        yield from txn.commit()
+
+    proc = system.spawn(driver(), name="ib-micro")
+    started = time.perf_counter()
+    system.run()
+    wall = time.perf_counter() - started
+    if proc.error is not None:
+        raise proc.error
+    if tree.key_count() != len(keys):
+        raise AssertionError(
+            f"ib micro inserted {tree.key_count()} of {len(keys)} keys")
+    return {"wall_seconds": wall,
+            "keys_per_second": len(keys) / wall if wall else 0.0,
+            "sim_time": system.now()}
+
+
+def micro_ib_insert(mode: str) -> dict:
+    """IB-insert micro: shipped tree vs the verbatim pre-PR baseline."""
+    count = 2_000 if mode == "smoke" else 12_000
+    params = {"keys": count, "batch": 16, "leaf_capacity": 8, "seed": 7}
+    keys = _sorted_keys(count, params["seed"])
+    baseline = _ib_insert_run(LegacyBTree, keys, batch=params["batch"],
+                              leaf_capacity=params["leaf_capacity"],
+                              seed=params["seed"])
+    optimized = _ib_insert_run(BTree, keys, batch=params["batch"],
+                               leaf_capacity=params["leaf_capacity"],
+                               seed=params["seed"])
+    speedup = (baseline["wall_seconds"] / optimized["wall_seconds"]
+               if optimized["wall_seconds"] else 0.0)
+    if baseline["sim_time"] != optimized["sim_time"]:
+        raise AssertionError(
+            "legacy and optimized IB paths diverged on the simulated "
+            f"clock: {baseline['sim_time']} != {optimized['sim_time']}")
+    return {"params": params, "baseline": baseline, "optimized": optimized,
+            "speedup": speedup}
+
+
+def micro_replacement_selection(mode: str) -> dict:
+    """Replacement-selection run formation over a random key stream."""
+    count = 5_000 if mode == "smoke" else 40_000
+    params = {"keys": count, "workspace": 64, "seed": 11}
+    rng = random.Random(params["seed"])
+    stream = [(rng.randrange(count * 10), (i // 64, i % 64))
+              for i in range(count)]
+    store = RunStore(prefix="perf-sort")
+    sorter = RunFormation(store, params["workspace"])
+    started = time.perf_counter()
+    for key in stream:
+        sorter.push(key)
+    runs = sorter.finish()
+    wall = time.perf_counter() - started
+    total = sum(len(run) for run in runs)
+    if total != count:
+        raise AssertionError(f"sort micro kept {total} of {count} keys")
+    return {"params": params,
+            "wall_seconds": wall,
+            "keys_per_second": count / wall if wall else 0.0,
+            "runs_formed": len(runs)}
+
+
+def micro_merge_pop_many(mode: str) -> dict:
+    """Final-merge key supply through ``pop_many`` (NSF's feed loop)."""
+    count = 8_000 if mode == "smoke" else 60_000
+    params = {"keys": count, "runs": 8, "fanin": 8, "batch": 16,
+              "seed": 13}
+    rng = random.Random(params["seed"])
+    store = RunStore(prefix="perf-merge")
+    per_run = count // params["runs"]
+    for _ in range(params["runs"]):
+        run = store.new_run()
+        for key in sorted(rng.randrange(count * 10)
+                          for _ in range(per_run)):
+            run.append((key, (0, 0)))
+        run.closed = True
+        run.force()
+    runs = list(store.runs.values())
+    merger = final_merger(store, runs, params["fanin"])
+    produced = 0
+    started = time.perf_counter()
+    while True:
+        batch = merger.pop_many(params["batch"])
+        if not batch:
+            break
+        produced += len(batch)
+    wall = time.perf_counter() - started
+    if produced != params["runs"] * per_run:
+        raise AssertionError(
+            f"merge micro produced {produced} of {params['runs'] * per_run}")
+    return {"params": params,
+            "wall_seconds": wall,
+            "keys_per_second": produced / wall if wall else 0.0}
+
+
+def micro_sidefile_drain(mode: str) -> dict:
+    """Batched side-file drain against a bulk-loaded tree."""
+    from repro.btree.loader import BulkLoader
+    from repro.sidefile import SideFile, register_sidefile_operations
+
+    count = 2_000 if mode == "smoke" else 10_000
+    params = {"entries": count, "batch": 64, "seed": 17,
+              "preloaded_keys": count}
+    system = System(SystemConfig(leaf_capacity=8, branch_capacity=8),
+                    seed=params["seed"])
+    register_sidefile_operations(system)
+    tree = BTree(system, "bench-idx", "bench-table")
+    loader = BulkLoader(tree)
+    for i in range(count):
+        loader.append(i * 3, RID(i // 64, i % 64))
+    loader.finish()
+    sidefile = SideFile(system, "bench-idx")
+    system.sidefiles["bench-idx"] = sidefile
+    rng = random.Random(params["seed"])
+    txn = system.txns.begin("sf-appender")
+    for i in range(count):
+        sidefile.append_sync(txn, "insert", rng.randrange(count * 3) * 3 + 1,
+                             RID(1000 + i // 64, i % 64))
+    drain_txn = system.txns.begin("sf-drain")
+
+    def driver():
+        position = 0
+        while position < len(sidefile.entries):
+            chunk = sidefile.entries[position:position + params["batch"]]
+            batch = [(e.operation, e.key_value, e.rid) for e in chunk]
+            position += len(chunk)
+            yield from tree.sf_drain_apply_batch(drain_txn, batch)
+        yield from drain_txn.commit()
+
+    proc = system.spawn(driver(), name="sf-drain-micro")
+    started = time.perf_counter()
+    system.run()
+    wall = time.perf_counter() - started
+    if proc.error is not None:
+        raise proc.error
+    return {"params": params,
+            "wall_seconds": wall,
+            "keys_per_second": count / wall if wall else 0.0,
+            "sim_time": system.now()}
+
+
+def micro_sidefile_redo(mode: str) -> dict:
+    """Side-file WAL redo after a crash (the once-quadratic dedup path)."""
+    from repro.sidefile import SideFile, register_sidefile_operations
+
+    count = 2_000 if mode == "smoke" else 20_000
+    params = {"entries": count, "seed": 19}
+    system = System(SystemConfig(), seed=params["seed"])
+    register_sidefile_operations(system)
+    sidefile = SideFile(system, "bench-idx")
+    system.sidefiles["bench-idx"] = sidefile
+    txn = system.txns.begin("sf-appender")
+    for i in range(count):
+        sidefile.append_sync(txn, "insert", i, RID(i // 64, i % 64))
+    records = [record for record in system.log.scan()
+               if record.redo is not None
+               and record.redo[0] == "sidefile.append"]
+    # Crash with nothing forced: every entry must come back from the log.
+    sidefile.crash()
+    if sidefile.entries:
+        raise AssertionError("expected a fully volatile side-file")
+    started = time.perf_counter()
+    for record in records:
+        sidefile.redo_append(record)
+    for record in records:  # second pass: all-duplicate dedup path
+        sidefile.redo_append(record)
+    wall = time.perf_counter() - started
+    if len(sidefile.entries) != count:
+        raise AssertionError(
+            f"redo rebuilt {len(sidefile.entries)} of {count} entries")
+    return {"params": params,
+            "wall_seconds": wall,
+            "keys_per_second": (2 * count) / wall if wall else 0.0}
+
+
+# ---------------------------------------------------------------------------
+# build scenarios
+# ---------------------------------------------------------------------------
+
+
+def _build_scenario(name: str, *, algorithm: str, rows: int,
+                    operations: int = 0, seed: int = 0) -> dict:
+    params = {"algorithm": algorithm, "rows": rows,
+              "operations": operations, "workers": 2, "seed": seed}
+    options = BuildOptions(checkpoint_every_keys=200,
+                           commit_every_keys=128)
+    started = time.perf_counter()
+    result = run_build_experiment(
+        algorithm, rows=rows, operations=operations, workers=2,
+        seed=seed, options=options, config=bench_config())
+    wall = time.perf_counter() - started
+    interesting = ("index.inserts.ib", "index.splits", "index.traversals",
+                   "index.page_visits", "sidefile.appends",
+                   "build.sidefile_drained", "log.records",
+                   "build.ib_commits", "sort.keys_pushed")
+    counters = {key: result.counters[key] for key in interesting
+                if key in result.counters}
+    return {"params": params,
+            "wall_seconds": wall,
+            "keys_per_second": rows / wall if wall else 0.0,
+            "sim_time": result.build_time,
+            "counters": counters}
+
+
+def _build_scenarios(mode: str) -> list[tuple[str, Callable[[], dict]]]:
+    if mode == "smoke":
+        rows_list = [120]
+        workload_ops = 20
+    else:
+        rows_list = [300, 900]
+        workload_ops = 60
+    scenarios: list[tuple[str, Callable[[], dict]]] = []
+    for rows in rows_list:
+        for algorithm in ("offline", "nsf", "sf"):
+            scenarios.append((
+                f"build/{algorithm}/rows{rows}",
+                lambda a=algorithm, r=rows: _build_scenario(
+                    f"build/{a}/rows{r}", algorithm=a, rows=r, seed=42)))
+    for algorithm in ("nsf", "sf"):
+        scenarios.append((
+            f"build/{algorithm}/rows{rows_list[0]}/workload",
+            lambda a=algorithm: _build_scenario(
+                f"build/{a}/workload", algorithm=a, rows=rows_list[0],
+                operations=workload_ops, seed=42)))
+    return scenarios
+
+
+MICROS: list[tuple[str, Callable[[str], dict]]] = [
+    ("micro/ib_insert_batch", micro_ib_insert),
+    ("micro/replacement_selection", micro_replacement_selection),
+    ("micro/merge_pop_many", micro_merge_pop_many),
+    ("micro/sidefile_drain", micro_sidefile_drain),
+    ("micro/sidefile_redo", micro_sidefile_redo),
+]
+
+
+# ---------------------------------------------------------------------------
+# suite driver, schema, CLI
+# ---------------------------------------------------------------------------
+
+
+def run_suite(mode: str = "full", *,
+              echo: Callable[[str], None] = lambda line: None) -> dict:
+    """Run every scenario; never raises -- failures land in the JSON."""
+    scenarios: list[dict] = []
+    for name, thunk in _build_scenarios(mode):
+        scenarios.append(_run_one(name, "build", lambda t=thunk: t(), echo))
+    for name, body in MICROS:
+        scenarios.append(
+            _run_one(name, "micro", lambda b=body: b(mode), echo))
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": SUITE_NAME,
+        "mode": mode,
+        "python": sys.version.split()[0],
+        "scenarios": scenarios,
+    }
+
+
+def _run_one(name: str, kind: str, thunk: Callable[[], dict],
+             echo: Callable[[str], None]) -> dict:
+    scenario: dict[str, Any] = {"name": name, "kind": kind, "ok": True}
+    try:
+        scenario.update(thunk())
+    except Exception as exc:  # noqa: BLE001 - recorded, reported by check
+        scenario["ok"] = False
+        scenario["error"] = f"{type(exc).__name__}: {exc}"
+        echo(f"  FAIL {name}: {scenario['error']}")
+        return scenario
+    if name == "micro/ib_insert_batch":
+        echo(f"  ok   {name}: speedup {scenario['speedup']:.2f}x "
+             f"({scenario['baseline']['wall_seconds']:.3f}s -> "
+             f"{scenario['optimized']['wall_seconds']:.3f}s)")
+    else:
+        echo(f"  ok   {name}: {scenario.get('wall_seconds', 0.0):.3f}s")
+    return scenario
+
+
+def validate_payload(payload: dict) -> list[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        problems.append(f"schema_version != {SCHEMA_VERSION}")
+    if payload.get("suite") != SUITE_NAME:
+        problems.append("suite name mismatch")
+    if payload.get("mode") not in ("full", "smoke"):
+        problems.append("mode must be 'full' or 'smoke'")
+    scenarios = payload.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        return problems + ["scenarios must be a non-empty list"]
+    names = set()
+    for scenario in scenarios:
+        name = scenario.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append("scenario without a name")
+            continue
+        if name in names:
+            problems.append(f"duplicate scenario {name}")
+        names.add(name)
+        if scenario.get("kind") not in ("build", "micro"):
+            problems.append(f"{name}: bad kind")
+        if not isinstance(scenario.get("ok"), bool):
+            problems.append(f"{name}: ok must be a bool")
+        if not scenario.get("ok"):
+            continue
+        if scenario.get("kind") == "build":
+            for field in ("wall_seconds", "keys_per_second", "sim_time"):
+                if not isinstance(scenario.get(field), (int, float)):
+                    problems.append(f"{name}: missing {field}")
+            if not isinstance(scenario.get("counters"), dict):
+                problems.append(f"{name}: missing counters")
+    ib = find_scenario(payload, "micro/ib_insert_batch")
+    if ib is None:
+        problems.append("micro/ib_insert_batch scenario missing")
+    elif ib.get("ok"):
+        for field in ("baseline", "optimized"):
+            side = ib.get(field)
+            if not isinstance(side, dict) \
+                    or not isinstance(side.get("wall_seconds"),
+                                      (int, float)) \
+                    or not isinstance(side.get("keys_per_second"),
+                                      (int, float)):
+                problems.append(f"ib micro: malformed {field}")
+        if not isinstance(ib.get("speedup"), (int, float)):
+            problems.append("ib micro: missing speedup")
+    return problems
+
+
+def find_scenario(payload: dict, name: str) -> Optional[dict]:
+    for scenario in payload.get("scenarios", []):
+        if scenario.get("name") == name:
+            return scenario
+    return None
+
+
+def check_payload(payload: dict, reference: Optional[dict], *,
+                  max_regression: float = 0.30,
+                  min_speedup: Optional[float] = None) -> list[str]:
+    """Regression gate: schema, scenario failures, IB speedup floor.
+
+    Wall-clock seconds are machine-dependent, so the gate compares the
+    IB-insert *speedup ratio* (same-process, same-machine by
+    construction) against the reference's ratio -- or, when the modes
+    differ (smoke CI vs committed full baseline), against the acceptance
+    floor scaled by the allowed regression.
+    """
+    problems = validate_payload(payload)
+    for scenario in payload.get("scenarios", []):
+        if not scenario.get("ok"):
+            problems.append(
+                f"scenario {scenario.get('name')} failed: "
+                f"{scenario.get('error', 'unknown error')}")
+    ib = find_scenario(payload, "micro/ib_insert_batch")
+    speedup = ib.get("speedup") if ib and ib.get("ok") else None
+    if speedup is not None:
+        floor = None
+        if reference is not None:
+            ref_ib = find_scenario(reference, "micro/ib_insert_batch")
+            ref_speedup = (ref_ib or {}).get("speedup")
+            if isinstance(ref_speedup, (int, float)) \
+                    and reference.get("mode") == payload.get("mode"):
+                floor = ref_speedup * (1.0 - max_regression)
+        if floor is None:
+            floor = MIN_IB_SPEEDUP * (1.0 - max_regression)
+        if min_speedup is not None:
+            floor = max(floor, min_speedup)
+        if speedup < floor:
+            problems.append(
+                f"ib-insert speedup {speedup:.2f}x under floor "
+                f"{floor:.2f}x")
+    return problems
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perf",
+        description="wall-clock perf-regression suite")
+    parser.add_argument("--out", required=True,
+                        help="write the results JSON here")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sizes for CI")
+    parser.add_argument("--check-against", metavar="REF",
+                        help="reference JSON to gate regressions against")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed relative speedup loss (default 0.30)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="hard lower bound on the ib-insert speedup")
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    print(f"perf suite ({mode})")
+    payload = run_suite(mode, echo=print)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    reference = None
+    if args.check_against:
+        with open(args.check_against, "r", encoding="utf-8") as handle:
+            reference = json.load(handle)
+    problems = check_payload(payload, reference,
+                             max_regression=args.max_regression,
+                             min_speedup=args.min_speedup)
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if not problems:
+        ib = find_scenario(payload, "micro/ib_insert_batch")
+        print(f"ok: ib-insert speedup {ib['speedup']:.2f}x")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

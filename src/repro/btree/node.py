@@ -21,6 +21,15 @@ from repro.sim.latch import Latch
 #: A composite key: (key_value, rid) where rid is a RID tuple.
 CompositeKey = tuple
 
+#: module-level bisect key extractors: building a closure per ``position``
+#: call showed up in the IB-insert hot path, so the extractors are shared.
+def _entry_composite(entry: "KeyEntry") -> CompositeKey:
+    return (entry.key_value, entry.rid)
+
+
+def _entry_key_value(entry: "KeyEntry"):
+    return entry.key_value
+
 
 class KeyEntry:
     """One index entry: key value, RID, and the pseudo-delete flag."""
@@ -68,8 +77,7 @@ class LeafPage(IndexPage):
 
     def position(self, composite: CompositeKey) -> int:
         """Insertion point for ``composite`` among the sorted entries."""
-        return bisect_left(self.entries, composite,
-                           key=lambda e: e.composite)
+        return bisect_left(self.entries, composite, key=_entry_composite)
 
     def find_exact(self, composite: CompositeKey) -> Optional[KeyEntry]:
         """The entry equal to ``composite``, if present."""
@@ -81,8 +89,7 @@ class LeafPage(IndexPage):
 
     def find_key_value(self, key_value) -> Optional[KeyEntry]:
         """First entry with this key value (for unique-index checks)."""
-        pos = bisect_left(self.entries, key_value,
-                          key=lambda e: e.key_value)
+        pos = bisect_left(self.entries, key_value, key=_entry_key_value)
         if pos < len(self.entries) \
                 and self.entries[pos].key_value == key_value:
             return self.entries[pos]

@@ -36,12 +36,13 @@ followed by a retry.
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from typing import Iterator, Optional, Sequence, TYPE_CHECKING
 
 from repro.btree.node import BranchPage, CompositeKey, KeyEntry, LeafPage
 from repro.errors import IndexBuildError, StorageError, UniqueViolationError
 from repro.faultinject.injector import InjectedCrash
-from repro.faultinject.sites import fault_point
+from repro.faultinject.sites import fault_point, fault_points_enabled
 from repro.sim.kernel import Acquire, Delay
 from repro.sim.latch import EXCLUSIVE, SHARE
 from repro.storage.rid import RID
@@ -170,10 +171,17 @@ class BTree:
         leaf, and a subsequent insert can give it a low key equal to one
         of its fences, making "traverse by low key" land a neighbour.
         The structural search is exact; interior fan-out keeps it cheap.
+        When the leaf's fences are cached at the current structure
+        version they pin the leaf's position exactly, so a fence-guided
+        O(height) descent replaces the O(pages) walk (IB pays this once
+        per split; the walk made split-heavy builds quadratic).
         """
         if self.root == leaf_no:
             return []
-        path: list[tuple[BranchPage, int]] = []
+        path = self._fence_guided_path(leaf_no)
+        if path is not None:
+            return path
+        path = []
 
         def descend(page_no: int) -> bool:
             node = self.pages[page_no]
@@ -188,6 +196,34 @@ class BTree:
 
         if self.root is None or not descend(self.root):
             raise StorageError(f"leaf {leaf_no} unreachable in {self.name}")
+        return path
+
+    def _fence_guided_path(self, leaf_no: int
+                           ) -> Optional[list[tuple[BranchPage, int]]]:
+        """Branch path to ``leaf_no`` via its cached fences, or None.
+
+        A leaf's lower fence is the lowest composite its range covers, so
+        descending by it (``bisect_right``, the same routing rule as
+        :meth:`BranchPage.child_for`; a ``None`` fence means leftmost)
+        lands exactly on that leaf -- verified before trusting the result,
+        with the exhaustive walk as the fallback.
+        """
+        cache = self._bounds_cache
+        if cache.get("version") != self.structure_version:
+            return None
+        bounds = cache.get(leaf_no)
+        if bounds is None:
+            return None
+        low_fence = bounds[0]
+        node = self.pages[self.root]
+        path: list[tuple[BranchPage, int]] = []
+        while isinstance(node, BranchPage):
+            slot = (bisect_right(node.separators, low_fence)
+                    if low_fence is not None else 0)
+            path.append((node, slot))
+            node = self.pages[node.children[slot]]
+        if node.page_no != leaf_no:
+            return None
         return path
 
     def _find_for_key_value(self, key_value
@@ -289,6 +325,7 @@ class BTree:
         # relinked, but the parent has no separator yet.
         fault_point(self.system.metrics, "btree.split")
         self.structure_version += 1
+        self._bounds_cache_after_leaf_split(left, right, separator)
         self.system.metrics.incr("index.splits")
         self.system.log.append(
             None, RecordKind.UPDATE,
@@ -320,6 +357,7 @@ class BTree:
         del branch.separators[mid:]
         del branch.children[mid + 1:]
         self.structure_version += 1
+        self._bounds_cache_carry_forward()
         self.system.metrics.incr("index.splits")
         if not path:
             new_root = self._allocate_branch()
@@ -332,6 +370,47 @@ class BTree:
         parent.children.insert(slot + 1, new_branch.page_no)
         if parent.is_full:
             self._split_branch(parent, path[:-1])
+
+    # ------------------------------------------------------------------
+    # bounds-cache maintenance
+    # ------------------------------------------------------------------
+
+    def _bounds_cache_after_leaf_split(self, left: LeafPage,
+                                       right: LeafPage,
+                                       separator: CompositeKey) -> None:
+        """Carry the fence cache across a leaf split we fully understand.
+
+        A split changes exactly two leaves' fences: ``left`` keeps its
+        lower fence and gains ``separator`` as its upper fence; ``right``
+        spans ``separator`` up to ``left``'s old upper fence.  Every other
+        leaf's fences are untouched, so instead of discarding the whole
+        cache (which made the next ``_leaf_covers`` per split pay an
+        O(pages) structural search -- quadratic over a build) the cache is
+        patched in place and its version stamp advanced.  Any *external*
+        version bump (crash, snapshot restore) still mismatches and clears
+        the cache lazily in :meth:`_leaf_bounds`.
+        """
+        cache = self._bounds_cache
+        if cache.get("version") != self.structure_version - 1:
+            return  # cache already stale; let _leaf_bounds rebuild lazily
+        cache["version"] = self.structure_version
+        bounds = cache.get(left.page_no)
+        if bounds is not None:
+            low_fence, high_fence = bounds
+            cache[left.page_no] = (low_fence, separator)
+            cache[right.page_no] = (separator, high_fence)
+
+    def _bounds_cache_carry_forward(self) -> None:
+        """Keep the fence cache valid across a *branch* split.
+
+        Redistributing separators among branches never changes which
+        separators fence a given leaf (the pushed-up separator bounds the
+        same leaves from the parent instead), so all cached leaf fences
+        stay correct -- only the version stamp must follow.
+        """
+        cache = self._bounds_cache
+        if cache.get("version") == self.structure_version - 1:
+            cache["version"] = self.structure_version
 
     # ------------------------------------------------------------------
     # transaction operations (generators)
@@ -589,39 +668,42 @@ class BTree:
         """
         inserted = 0
         work = [(kv, RID(*raw_rid)) for kv, raw_rid in keys]
+        total = len(work)
         index = 0
-        while index < len(work):
+        metrics = self.system.metrics
+        leaf_covers = self._leaf_covers
+        ib_classify = self._ib_classify
+        insert_sorted = self._insert_sorted
+        while index < total:
             key_value, rid = work[index]
             leaf = self._locate_ib_leaf(cursor, (key_value, rid))
             yield Acquire(leaf.latch, EXCLUSIVE)
-            if not self._leaf_covers(leaf, (key_value, rid)):
+            if not leaf_covers(leaf, (key_value, rid)):
                 # The leaf split while we waited for its latch (or the
                 # cursor went stale); drop it and locate afresh.
                 leaf.latch.release(self.system.sim.current)
                 cursor.leaf_no = None
                 continue
             pending: list[tuple] = []
+            rejected = 0
             unique_check: Optional[tuple] = None
             try:
-                while index < len(work):
+                while index < total:
                     key_value, rid = work[index]
                     composite = (key_value, rid)
-                    if not self._leaf_covers(leaf, composite):
+                    if not leaf_covers(leaf, composite):
                         break  # next key lives elsewhere; re-locate
-                    action = self._ib_classify(leaf, key_value, rid)
+                    action = ib_classify(leaf, key_value, rid)
                     if action == "unique-check":
                         unique_check = (key_value, rid)
                         break
                     if action == "reject":
-                        self.system.metrics.incr(
-                            "index.duplicate_rejections.ib")
+                        rejected += 1
                         index += 1
                         continue
-                    target = self._insert_sorted(
+                    target = insert_sorted(
                         leaf, KeyEntry(key_value, rid),
                         specialized_for_ib=True)
-                    self.system.metrics.incr("index.inserts.ib")
-                    inserted += 1
                     pending.append((key_value, tuple(rid)))
                     index += 1
                     cursor.leaf_no = target.page_no
@@ -630,8 +712,15 @@ class BTree:
                         # A split moved the insert frontier to a page we
                         # do not hold; end this latched group.
                         break
-                if write_log and pending:
-                    self._log_ib_batch(ib_txn, pending)
+                # Counters are bumped once per latched group, not once
+                # per key: same totals, a fraction of the dict traffic.
+                if rejected:
+                    metrics.incr("index.duplicate_rejections.ib", rejected)
+                if pending:
+                    inserted += len(pending)
+                    metrics.incr("index.inserts.ib", len(pending))
+                    if write_log:
+                        self._log_ib_batch(ib_txn, pending)
             finally:
                 leaf.latch.release(self.system.sim.current)
             if pending:
@@ -801,28 +890,84 @@ class BTree:
         leaf, _path = self._traverse(composite)
         yield Acquire(leaf.latch, EXCLUSIVE)
         try:
-            exact = leaf.find_exact(composite)
-            if operation == "insert":
-                if exact is None:
-                    self._insert_sorted(leaf, KeyEntry(key_value, rid))
-                    self._log_key_op(ib_txn, "insert", key_value, rid,
-                                     undo_action="physical_delete")
-                    self.system.metrics.incr("index.inserts.drain")
-                elif exact.pseudo_deleted:
-                    exact.pseudo_deleted = False
-                    self._log_key_op(ib_txn, "reactivate", key_value, rid,
-                                     undo_action="pseudo_delete")
-            else:  # delete
-                if exact is not None:
-                    pos = leaf.position(composite)
-                    del leaf.entries[pos]
-                    self._log_key_op(ib_txn, "physical_delete", key_value,
-                                     rid, undo_action="insert")
-                    self.system.metrics.incr("index.deletes.drain")
+            self._sf_apply_one(ib_txn, leaf, operation, key_value, rid)
         finally:
             leaf.latch.release(self.system.sim.current)
         fault_point(self.system.metrics, "btree.drain_apply")
         yield Delay(self.system.config.key_op_cost)
+
+    def _sf_apply_one(self, ib_txn, leaf: LeafPage, operation: str,
+                      key_value, rid: RID) -> None:
+        """Apply one side-file entry to a latched leaf (no yields)."""
+        composite = (key_value, rid)
+        exact = leaf.find_exact(composite)
+        if operation == "insert":
+            if exact is None:
+                self._insert_sorted(leaf, KeyEntry(key_value, rid))
+                self._log_key_op(ib_txn, "insert", key_value, rid,
+                                 undo_action="physical_delete")
+                self.system.metrics.incr("index.inserts.drain")
+            elif exact.pseudo_deleted:
+                exact.pseudo_deleted = False
+                self._log_key_op(ib_txn, "reactivate", key_value, rid,
+                                 undo_action="pseudo_delete")
+        else:  # delete
+            if exact is not None:
+                pos = leaf.position(composite)
+                del leaf.entries[pos]
+                self._log_key_op(ib_txn, "physical_delete", key_value,
+                                 rid, undo_action="insert")
+                self.system.metrics.incr("index.deletes.drain")
+
+    def sf_drain_apply_batch(self, ib_txn: "Transaction",
+                             entries: Sequence[tuple]):
+        """Generator: apply a batch of side-file entries (section 3.2.5).
+
+        Semantically ``sf_drain_apply`` per entry, but one traversal and
+        one leaf-latch hold cover every consecutive entry that still falls
+        inside the latched leaf's fences; the first entry outside them
+        re-traverses.  WAL records are written per entry (unchanged), the
+        per-entry ``btree.drain_apply`` fault site still fires at every
+        entry when an injector is installed, and the simulated CPU charge
+        is one :class:`Delay` of ``key_op_cost * group`` per latch hold --
+        identical total to the per-entry path.
+
+        ``entries`` is a sequence of ``(operation, key_value, rid)``.
+        Returns the number of entries applied.
+        """
+        metrics = self.system.metrics
+        fp_enabled = fault_points_enabled(metrics)
+        key_op_cost = self.system.config.key_op_cost
+        leaf_covers = self._leaf_covers
+        apply_one = self._sf_apply_one
+        work = [(op, kv, RID(*raw_rid)) for op, kv, raw_rid in entries]
+        total = len(work)
+        applied = 0
+        index = 0
+        while index < total:
+            operation, key_value, rid = work[index]
+            leaf, _path = self._traverse((key_value, rid))
+            yield Acquire(leaf.latch, EXCLUSIVE)
+            group = 0
+            try:
+                while index < total:
+                    operation, key_value, rid = work[index]
+                    if not leaf_covers(leaf, (key_value, rid)):
+                        # Either the leaf split while we waited for the
+                        # latch (group == 0) or the next entry lives
+                        # elsewhere; re-traverse.
+                        break
+                    apply_one(ib_txn, leaf, operation, key_value, rid)
+                    index += 1
+                    group += 1
+                    if fp_enabled:
+                        fault_point(metrics, "btree.drain_apply")
+            finally:
+                leaf.latch.release(self.system.sim.current)
+            if group:
+                applied += group
+                yield Delay(key_op_cost * group)
+        return applied
 
     def verify_unique(self) -> None:
         """Raise :class:`IndexBuildError` if a unique tree holds two live
@@ -843,15 +988,21 @@ class BTree:
     def _log_ib_batch(self, ib_txn, keys: list[tuple]) -> None:
         """One undo-redo record covering the keys just inserted under a
         single leaf-latch hold ("the log record can contain multiple
-        keys", section 2.2.3)."""
+        keys", section 2.2.3).
+
+        Redo and undo share one key list: both handlers are read-only
+        over the payload, so one defensive copy of the caller's list is
+        enough (the second copy showed up in IB-insert profiles).
+        """
+        key_list = list(keys)
         ib_txn.log(
             RecordKind.UPDATE,
             redo=("index.apply", {"index": self.name,
                                   "action": "insert_many",
-                                  "keys": list(keys)}),
+                                  "keys": key_list}),
             undo=("index.undo", {"index": self.name,
                                  "action": "remove_many",
-                                 "keys": list(keys)}),
+                                 "keys": key_list}),
             info={"index": self.name},
             writer="ib",
         )
@@ -887,7 +1038,14 @@ class BTree:
         since the log record was written.
         """
         if action in ("insert_many", "remove_many"):
-            inner = "insert" if action == "insert_many" else "physical_delete"
+            # remove_many is the undo of IB's insert_many.  A concurrent
+            # transaction may have pseudo-deleted one of these keys since
+            # IB inserted it (section 2.2.3 direct maintenance); that
+            # tombstone is the *deleter's* history and must survive IB's
+            # rollback -- physically removing it would let the resumed
+            # build re-insert a key whose record is gone.
+            inner = ("insert" if action == "insert_many"
+                     else "remove_unless_tombstoned")
             for kv, r in extra["keys"]:
                 self.apply_logical(inner, kv, r)
             return
@@ -918,6 +1076,10 @@ class BTree:
                 self._insert_sorted(leaf, KeyEntry(key_value, rid))
         elif action == "physical_delete":
             if exact is not None:
+                pos = leaf.position(composite)
+                del leaf.entries[pos]
+        elif action == "remove_unless_tombstoned":
+            if exact is not None and not exact.pseudo_deleted:
                 pos = leaf.position(composite)
                 del leaf.entries[pos]
         elif action == "replace_rid":

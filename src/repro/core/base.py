@@ -20,7 +20,7 @@ from typing import Optional, Sequence, TYPE_CHECKING
 
 from repro.core.descriptor import IndexDescriptor, IndexState
 from repro.core.maintenance import BuildContext, install_maintenance
-from repro.faultinject.sites import fault_point
+from repro.faultinject.sites import fault_point, fault_points_enabled
 from repro.sim.kernel import Acquire, Delay
 from repro.sim.latch import SHARE
 from repro.sort import RunFormation, RunStore, final_merger
@@ -185,6 +185,15 @@ class BuilderBase:
         checkpoint_every = self.options.checkpoint_every_pages
         page_no = start_page
         pages_since_checkpoint = 0
+        metrics = self.system.metrics
+        # Hoisted per-record work: the (key extractor, sorter push) pairs
+        # never change during the scan, and the per-key fault-point call
+        # is skipped wholesale when no injector is installed (the guard
+        # equals fault_point's own disabled test, so sweep discovery and
+        # armed runs see an unchanged hit schedule).
+        extractors = [(d.key_of, self._sorters[d.name].push)
+                      for d in self.descriptors]
+        fp_enabled = fault_points_enabled(metrics)
         while True:
             last_page = self._scan_limit(noted_last_page)
             if page_no >= last_page:
@@ -197,10 +206,11 @@ class BuilderBase:
                 try:
                     records = page.live_records()
                     for rid, record in records:
-                        for descriptor in self.descriptors:
-                            self._sorters[descriptor.name].push(
-                                (descriptor.key_of(record), tuple(rid)))
-                        fault_point(self.system.metrics, "build.sort_push")
+                        raw = tuple(rid)
+                        for key_of, push in extractors:
+                            push((key_of(record), raw))
+                        if fp_enabled:
+                            fault_point(metrics, "build.sort_push")
                     if records:
                         yield Delay(len(records)
                                     * self.options.key_extract_cost)
@@ -233,6 +243,9 @@ class BuilderBase:
         readers = max(1, self.options.parallel_readers)
         stripe = max(1, (last_page - start_page + readers - 1) // readers)
 
+        extractors = [(d.key_of, self._sorters[d.name].push)
+                      for d in self.descriptors]
+
         def reader_body(first: int, limit: int):
             page_no = first
             while page_no < limit:
@@ -246,10 +259,9 @@ class BuilderBase:
                     try:
                         records = page.live_records()
                         for rid, record in records:
-                            for descriptor in self.descriptors:
-                                self._sorters[descriptor.name].push(
-                                    (descriptor.key_of(record),
-                                     tuple(rid)))
+                            raw = tuple(rid)
+                            for key_of, push in extractors:
+                                push((key_of(record), raw))
                         if records:
                             yield Delay(len(records)
                                         * self.options.key_extract_cost)

@@ -28,7 +28,7 @@ from repro.core.base import BuilderBase, BuildOptions, IndexSpec
 from repro.core.descriptor import IndexState
 from repro.core.maintenance import BuildContext, NSF_MODE, install_maintenance
 from repro.faultinject.sites import fault_point
-from repro.sort import RestartableMerger, RunFormation
+from repro.sort import RestartableMerger, RunFormation, run_sequence
 from repro.storage.rid import RID
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -150,6 +150,12 @@ class NSFIndexBuilder(BuilderBase):
                 self.system.metrics.incr("build.ib_commits")
             if checkpoint_every and since_checkpoint >= checkpoint_every:
                 yield from ib_txn.commit()
+                # The checkpoint path is a commit too: the frontier it
+                # commits is just as readable as the one committed by the
+                # commit_every path above.  Leaving the watermark behind
+                # here stalled gradual availability whenever checkpoints
+                # fired more often than (or instead of) plain commits.
+                descriptor.read_watermark = highest
                 manifest = merger.checkpoint()
                 self._write_utility_checkpoint({
                     "phase": "insert",
@@ -161,9 +167,12 @@ class NSFIndexBuilder(BuilderBase):
                 ib_txn = self.system.txns.begin(
                     f"IB-insert-{descriptor.name}")
                 since_checkpoint = 0
+                since_commit = 0
                 self.system.metrics.incr("build.insert_checkpoints")
                 fault_point(self.system.metrics, "nsf.insert_checkpoint")
         yield from ib_txn.commit()
+        if highest is not None:
+            descriptor.read_watermark = highest
         self._mark(f"insert_done:{descriptor.name}")
         fault_point(self.system.metrics, "nsf.insert_done")
 
@@ -227,9 +236,12 @@ class NSFIndexBuilder(BuilderBase):
                         or descriptor.name == name:
                     continue
                 dstore = self._store_for(descriptor)
+                # Creation order, not name order: lexicographic names put
+                # run-10 before run-2, silently merging resumed builds in
+                # a different stream order than the original run.
                 runs = sorted((run for run in dstore.runs.values()
                                if run.closed),
-                              key=lambda run: run.name)
+                              key=lambda run: run_sequence(run.name))
                 mergers[descriptor.name] = self._final_merger(
                     descriptor, runs)
             self.system.metrics.incr("build.resumes.insert")

@@ -37,6 +37,7 @@ from repro.faultinject.sites import (
     SITE_DOCS,
     TORN_CAPABLE,
     fault_point,
+    fault_points_enabled,
 )
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "FiredFault",
     "InjectedCrash",
     "fault_point",
+    "fault_points_enabled",
     "SITE_DOCS",
     "TORN_CAPABLE",
     "LOST_CAPABLE",

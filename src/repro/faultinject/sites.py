@@ -7,12 +7,19 @@ fault) may be injected.  Instrumented modules call::
 
     fault_point(self.metrics, "wal.force.after")
 
-which bumps the ``faultsite.<name>`` counter in the metrics registry and
-routes the hit to the installed :class:`~repro.faultinject.injector.
-FaultInjector` (if any).  With no injector installed the cost is one
-counter increment, so instrumentation stays on in production runs and
-doubles as discovery: a plain run of a workload leaves behind the full
-list of reachable (site, hit-count) pairs in the registry.
+which routes the hit to the installed :class:`~repro.faultinject.injector.
+FaultInjector` (if any) and bumps the ``faultsite.<name>`` counter in the
+metrics registry while an injector is installed.  With no injector the
+call returns immediately after one attribute test -- the *zero-cost
+disabled path* -- so instrumentation stays on in production runs without
+taxing hot loops.  Discovery still works exactly as before: the sweep's
+discovery pass installs an *unarmed* injector, which re-enables the
+counters and the per-site hit census.
+
+Inner loops that hit a site once per key can hoist the enabled test with
+:func:`fault_points_enabled` and skip the call entirely when disabled;
+because the guard is exactly the disabled-path test, armed and discovery
+runs observe an unchanged hit schedule.
 
 Sites that perform a *write* can additionally honour the damage kinds:
 
@@ -101,25 +108,45 @@ SITE_DOCS = {
 }
 
 
+#: memoised ``faultsite.<name>`` counter names (f-string built once per site)
+_COUNTER_NAMES: dict[str, str] = {}
+
+
+def fault_points_enabled(metrics: Optional["MetricsRegistry"]) -> bool:
+    """True when a fault injector is installed on ``metrics``.
+
+    Hot loops hoist this test and skip per-key :func:`fault_point` calls
+    when it is False; the guard is identical to the disabled path inside
+    ``fault_point``, so injected/discovery schedules are unaffected.
+    """
+    return metrics is not None \
+        and getattr(metrics, "fault_injector", None) is not None
+
+
 def fault_point(metrics: Optional["MetricsRegistry"],
                 site: str) -> Optional[str]:
     """Declare one hit of ``site``.
 
-    Bumps the discovery counter and asks the installed injector whether a
-    fault fires here.  Returns ``None`` (keep going), or a damage-kind
-    string (``torn-write`` / ``lost-flush``) that the *call site* must
-    honour by damaging or dropping its write and then raising
-    :class:`InjectedCrash`.  A plain ``crash`` is raised directly.
+    With no injector installed this returns immediately (zero-cost
+    disabled path).  With one installed it bumps the discovery counter
+    and asks the injector whether a fault fires here.  Returns ``None``
+    (keep going), or a damage-kind string (``torn-write`` /
+    ``lost-flush``) that the *call site* must honour by damaging or
+    dropping its write and then raising :class:`InjectedCrash`.  A plain
+    ``crash`` is raised directly.
 
     Damage kinds degrade gracefully: if the site is not capable of the
     requested damage, the fault fires as a plain crash before the write.
     """
     if metrics is None:
         return None
-    metrics.incr(f"faultsite.{site}")
     injector = getattr(metrics, "fault_injector", None)
     if injector is None:
         return None
+    name = _COUNTER_NAMES.get(site)
+    if name is None:
+        name = _COUNTER_NAMES[site] = f"faultsite.{site}"
+    metrics.incr(name)
     kind = injector.hit(site)
     if kind is None or kind == CRASH:
         return None

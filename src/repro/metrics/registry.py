@@ -86,8 +86,17 @@ class MetricsRegistry:
                                           compare=False)
 
     def incr(self, name: str, amount: int = 1) -> None:
-        """Increase counter ``name`` by ``amount`` (creating it at 0)."""
-        self.counters[name] = self.counters.get(name, 0) + amount
+        """Increase counter ``name`` by ``amount`` (creating it at 0).
+
+        The existing-key path is the hot one (inner build loops bump the
+        same few counters millions of times), so it avoids the ``get``
+        call with a default.
+        """
+        counters = self.counters
+        try:
+            counters[name] += amount
+        except KeyError:
+            counters[name] = amount
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""

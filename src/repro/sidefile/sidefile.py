@@ -58,6 +58,10 @@ class SideFile:
         self.index_name = index_name
         self.entries: list[SideFileEntry] = []
         self.durable_length = 0
+        #: LSNs of every present entry; keeps :meth:`redo_append`'s
+        #: already-present test O(1) (the linear scan made restart redo
+        #: quadratic in side-file length)
+        self._lsn_set: set[int] = set()
 
     # -- appending (generator) ----------------------------------------------
 
@@ -88,6 +92,7 @@ class SideFile:
             txn_id=txn.txn_id,
         )
         self.entries.append(entry)
+        self._lsn_set.add(record.lsn)
         fault_point(self.system.metrics, "sidefile.append")
         self.system.metrics.incr("sidefile.appends")
         return entry
@@ -121,25 +126,36 @@ class SideFile:
             lsn=record.lsn,
             txn_id=txn.txn_id,
         ))
+        self._lsn_set.add(record.lsn)
         self.system.metrics.incr("sidefile.appends")
         self.system.metrics.incr("sidefile.appends.during_undo")
 
     # -- durability ------------------------------------------------------------
 
     def force(self) -> None:
-        """Make every current entry crash-survivable (IB drain checkpoint)."""
+        """Make every current entry crash-survivable (IB drain checkpoint).
+
+        WAL rule: the redo-only append records must reach stable storage
+        *before* the durable prefix is advanced.  Advancing first (the
+        original order) left a window -- a crash inside the log flush
+        produced "durable" entries whose append records never made the
+        log, so a restarted drain consumed entries that redo could not
+        re-create and the post-crash audit diverged.
+        """
         fault_point(self.system.metrics, "sidefile.force")
-        self.durable_length = len(self.entries)
-        if self.entries:
+        length = len(self.entries)
+        if length:
             self.system.log.flush(self.entries[-1].lsn)
+        self.durable_length = length
 
     def crash(self) -> None:
         del self.entries[self.durable_length:]
+        self._lsn_set = {entry.lsn for entry in self.entries}
 
     def redo_append(self, record: LogRecord) -> None:
         """Replay one append from the WAL if it was lost in the crash."""
         _op, args = record.redo
-        if any(entry.lsn == record.lsn for entry in self.entries):
+        if record.lsn in self._lsn_set:
             return  # already present in the stable prefix
         self.entries.append(SideFileEntry(
             operation=args["operation"],
@@ -148,6 +164,7 @@ class SideFile:
             lsn=record.lsn,
             txn_id=record.txn_id,
         ))
+        self._lsn_set.add(record.lsn)
         self.system.metrics.incr("recovery.sidefile_redos")
 
     # -- reading -----------------------------------------------------------------

@@ -6,7 +6,7 @@ from repro.sort.merge import (
     merge_pass,
     merge_to_single,
 )
-from repro.sort.runs import RunStore, SortRun
+from repro.sort.runs import RunStore, SortRun, run_sequence
 from repro.sort.sorter import RunFormation
 from repro.sort.tournament import INF, LoserTree
 
@@ -20,4 +20,5 @@ __all__ = [
     "final_merger",
     "merge_pass",
     "merge_to_single",
+    "run_sequence",
 ]

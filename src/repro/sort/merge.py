@@ -70,11 +70,24 @@ class RestartableMerger:
         return value
 
     def pop_many(self, limit: int) -> list[Any]:
-        out = []
-        for _ in range(limit):
-            value = self.pop()
-            if value is None:
-                break
+        """Produce up to ``limit`` merged keys.
+
+        Inlines :meth:`pop`'s loop body with hoisted bindings -- this is
+        NSF's key-supply path, called once per IB batch for the whole
+        build, and the per-key method dispatch was measurable.
+        """
+        tree = self._tree
+        inputs = self.inputs
+        counters = self.counters
+        append = self.output.append
+        key_at = self._key_at
+        out: list[Any] = []
+        while len(out) < limit and not tree.exhausted:
+            slot, value = tree.pop()
+            append(value)
+            counters[slot] += 1
+            tree.set(slot, key_at(inputs[slot], counters[slot]))
+            tree.fixup(slot)
             out.append(value)
         return out
 

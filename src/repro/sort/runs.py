@@ -17,6 +17,17 @@ from typing import Any, Iterator, Optional
 from repro.errors import SortRestartError
 
 
+def run_sequence(name: str) -> int:
+    """Creation sequence number of a run name (``"sort:idx-10"`` -> 10).
+
+    :meth:`RunStore.new_run` names runs ``f"{prefix}-{counter}"``, so the
+    numeric suffix is the creation order.  Resuming builders must feed the
+    final merge in this order; sorting the *names* lexicographically puts
+    ``...-10`` before ``...-2`` once a build produces ten or more runs.
+    """
+    return int(name.rsplit("-", 1)[-1])
+
+
 class SortRun:
     """One sorted stream of keys."""
 

@@ -110,18 +110,26 @@ class LoserTree:
         return slot, self.values[slot]
 
     def fixup(self, slot: int) -> None:
-        """Replay matches on the path from ``slot`` to the root."""
-        size = self.size
+        """Replay matches on the path from ``slot`` to the root.
+
+        This runs once per produced key across every sort and merge in a
+        build, so the instance attributes are hoisted to locals and the
+        comparison counter is accumulated once per call.
+        """
+        values = self.values
+        losers = self._losers
         winner = slot
-        node = (slot + size) // 2
+        node = (slot + self.size) // 2
+        compared = 0
         while node >= 1:
-            loser = self._losers[node]
-            self.comparisons += 1
-            if _less(self.values[loser], self.values[winner]):
-                self._losers[node] = winner
+            loser = losers[node]
+            compared += 1
+            if _less(values[loser], values[winner]):
+                losers[node] = winner
                 winner = loser
             node //= 2
-        self._losers[0] = winner
+        losers[0] = winner
+        self.comparisons += compared
 
     @property
     def exhausted(self) -> bool:
