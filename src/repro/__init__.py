@@ -40,6 +40,7 @@ from repro.core import (
     resume_build,
 )
 from repro.core.iot import IOTable, SFIotBuilder, audit_iot_index
+from repro.parallel import ParallelSFBuilder
 from repro.errors import (
     DeadlockVictim,
     IndexBuildError,
@@ -68,6 +69,7 @@ __all__ = [
     "IndexState",
     "NSFIndexBuilder",
     "OfflineIndexBuilder",
+    "ParallelSFBuilder",
     "RID",
     "Record",
     "ReproError",

@@ -24,6 +24,7 @@ from repro.core import (
     OfflineIndexBuilder,
     SFIndexBuilder,
 )
+from repro.parallel import ParallelSFBuilder
 from repro.system import System, SystemConfig
 from repro.verify import audit_index
 from repro.workloads import WorkloadDriver, WorkloadSpec
@@ -32,6 +33,8 @@ BUILDERS = {
     "offline": OfflineIndexBuilder,
     "nsf": NSFIndexBuilder,
     "sf": SFIndexBuilder,
+    # shard count comes from BuildOptions.partitions (default 2)
+    "psf": ParallelSFBuilder,
 }
 
 

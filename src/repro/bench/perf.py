@@ -53,6 +53,10 @@ SUITE_NAME = "repro.bench.perf"
 #: the acceptance floor for the IB-insert speedup recorded in the JSON
 MIN_IB_SPEEDUP = 1.5
 
+#: the acceptance floor for the parallel scan+sort speedup at P=4 vs P=1
+#: (simulated clock, so machine-independent by construction)
+MIN_PSF_SCAN_SPEEDUP = 1.5
+
 
 class LegacyBTree(BTree):
     """The pre-optimization B+-tree hot paths, copied verbatim.
@@ -451,6 +455,109 @@ def _build_scenarios(mode: str) -> list[tuple[str, Callable[[], dict]]]:
     return scenarios
 
 
+# ---------------------------------------------------------------------------
+# parallel build scenarios (simulated-clock P-sweep)
+# ---------------------------------------------------------------------------
+
+
+def _parallel_sf_run(partitions: int, *, rows: int, operations: int,
+                     seed: int) -> dict:
+    """One PSF build at ``partitions`` shards under a concurrent workload.
+
+    Unlike the wall-clock scenarios above, the headline numbers here are
+    *simulated*: the scan+sort phase time (``scan_done - start``), the
+    shard-merge phase time, and the per-shard balance of the range
+    partitioning.  Wall-clock is still recorded for the regression
+    trajectory, but speedups are computed on the simulated clock so they
+    are machine-independent.
+    """
+    from repro.metrics import partition_skew
+
+    params = {"algorithm": "psf", "partitions": partitions, "rows": rows,
+              "operations": operations, "workers": 2, "seed": seed}
+    options = BuildOptions(checkpoint_every_keys=200,
+                           commit_every_keys=128, partitions=partitions)
+    started = time.perf_counter()
+    result = run_build_experiment(
+        "psf", rows=rows, operations=operations, workers=2, seed=seed,
+        options=options, config=bench_config())
+    wall = time.perf_counter() - started
+    timings = result.builder.timings
+    scan_sort = timings["scan_done"] - timings["start"]
+    merge = timings.get("pmerge_done", timings["scan_done"]) \
+        - timings["scan_done"]
+    total = result.build_time
+    interesting = ("build.pages_scanned", "sort.keys_pushed",
+                   "sidefile.appends", "build.sidefile_drained",
+                   "psf.scan_workers", "psf.manifest_checkpoints",
+                   "log.records")
+    counters = {key: result.counters[key] for key in interesting
+                if key in result.counters}
+    metrics = result.system.metrics
+    return {"params": params,
+            "wall_seconds": wall,
+            "keys_per_second": rows / wall if wall else 0.0,
+            "sim_time": total,
+            "counters": counters,
+            "scan_sort_sim_time": scan_sort,
+            "merge_sim_time": merge,
+            "merge_share": merge / total if total else 0.0,
+            "partition_skew": {
+                "pages_scanned": partition_skew(
+                    metrics, "psf.pages_scanned", partitions),
+                "shard_keys": partition_skew(
+                    metrics, "psf.shard_keys", partitions),
+                "sidefile_appends": partition_skew(
+                    metrics, "psf.sidefile_appends", partitions),
+            }}
+
+
+def _parallel_scenarios(mode: str) \
+        -> list[tuple[str, str, Callable[[], dict]]]:
+    """Per-P scenarios plus a summary that reads their cached results."""
+    if mode == "smoke":
+        rows, operations, p_list = 120, 20, [1, 2]
+    else:
+        rows, operations, p_list = 600, 60, [1, 2, 4, 8]
+    cache: dict[int, dict] = {}
+    scenarios: list[tuple[str, str, Callable[[], dict]]] = []
+    for partitions in p_list:
+        def run_one(p=partitions):
+            scenario = _parallel_sf_run(p, rows=rows,
+                                        operations=operations, seed=42)
+            cache[p] = scenario
+            return scenario
+        scenarios.append((f"parallel_sf/p{partitions}", "build", run_one))
+
+    def sweep():
+        if not cache:
+            raise AssertionError("no parallel_sf scenario completed")
+        base = cache.get(1)
+        summary: dict[str, Any] = {
+            "params": {"rows": rows, "operations": operations,
+                       "partitions": sorted(cache)},
+            "speedup_scan_sort": {},
+            "speedup_total": {},
+            "merge_share": {},
+            "pages_skew": {},
+        }
+        for p, scenario in sorted(cache.items()):
+            label = str(p)
+            summary["merge_share"][label] = scenario["merge_share"]
+            summary["pages_skew"][label] = \
+                scenario["partition_skew"]["pages_scanned"]["skew"]
+            if base is not None and base["scan_sort_sim_time"]:
+                summary["speedup_scan_sort"][label] = \
+                    base["scan_sort_sim_time"] \
+                    / scenario["scan_sort_sim_time"]
+                summary["speedup_total"][label] = \
+                    base["sim_time"] / scenario["sim_time"]
+        return summary
+
+    scenarios.append(("parallel_sf/p_sweep", "summary", sweep))
+    return scenarios
+
+
 MICROS: list[tuple[str, Callable[[str], dict]]] = [
     ("micro/ib_insert_batch", micro_ib_insert),
     ("micro/replacement_selection", micro_replacement_selection),
@@ -465,22 +572,35 @@ MICROS: list[tuple[str, Callable[[str], dict]]] = [
 # ---------------------------------------------------------------------------
 
 
-def run_suite(mode: str = "full", *,
+def run_suite(mode: str = "full", *, only: Optional[str] = None,
               echo: Callable[[str], None] = lambda line: None) -> dict:
-    """Run every scenario; never raises -- failures land in the JSON."""
-    scenarios: list[dict] = []
+    """Run every scenario; never raises -- failures land in the JSON.
+
+    ``only`` restricts the run to scenarios whose name starts with the
+    given prefix (used by CI to run just the parallel smoke).  Filtered
+    payloads carry an ``only`` key and skip full-schema validation.
+    """
+    entries: list[tuple[str, str, Callable[[], dict]]] = []
     for name, thunk in _build_scenarios(mode):
-        scenarios.append(_run_one(name, "build", lambda t=thunk: t(), echo))
+        entries.append((name, "build", lambda t=thunk: t()))
+    entries.extend(_parallel_scenarios(mode))
     for name, body in MICROS:
-        scenarios.append(
-            _run_one(name, "micro", lambda b=body: b(mode), echo))
-    return {
+        entries.append((name, "micro", lambda b=body: b(mode)))
+    scenarios: list[dict] = []
+    for name, kind, thunk in entries:
+        if only is not None and not name.startswith(only):
+            continue
+        scenarios.append(_run_one(name, kind, thunk, echo))
+    payload = {
         "schema_version": SCHEMA_VERSION,
         "suite": SUITE_NAME,
         "mode": mode,
         "python": sys.version.split()[0],
         "scenarios": scenarios,
     }
+    if only is not None:
+        payload["only"] = only
+    return payload
 
 
 def _run_one(name: str, kind: str, thunk: Callable[[], dict],
@@ -497,6 +617,11 @@ def _run_one(name: str, kind: str, thunk: Callable[[], dict],
         echo(f"  ok   {name}: speedup {scenario['speedup']:.2f}x "
              f"({scenario['baseline']['wall_seconds']:.3f}s -> "
              f"{scenario['optimized']['wall_seconds']:.3f}s)")
+    elif name == "parallel_sf/p_sweep":
+        speedups = ", ".join(
+            f"P={p}: {ratio:.2f}x" for p, ratio
+            in scenario.get("speedup_scan_sort", {}).items())
+        echo(f"  ok   {name}: scan+sort {speedups or 'n/a'}")
     else:
         echo(f"  ok   {name}: {scenario.get('wall_seconds', 0.0):.3f}s")
     return scenario
@@ -523,7 +648,7 @@ def validate_payload(payload: dict) -> list[str]:
         if name in names:
             problems.append(f"duplicate scenario {name}")
         names.add(name)
-        if scenario.get("kind") not in ("build", "micro"):
+        if scenario.get("kind") not in ("build", "micro", "summary"):
             problems.append(f"{name}: bad kind")
         if not isinstance(scenario.get("ok"), bool):
             problems.append(f"{name}: ok must be a bool")
@@ -594,6 +719,17 @@ def check_payload(payload: dict, reference: Optional[dict], *,
             problems.append(
                 f"ib-insert speedup {speedup:.2f}x under floor "
                 f"{floor:.2f}x")
+    sweep = find_scenario(payload, "parallel_sf/p_sweep")
+    if sweep is not None and sweep.get("ok"):
+        # The parallel scan+sort speedup is on the simulated clock, so it
+        # needs no machine-matched reference -- gate on the floor whenever
+        # the sweep reached P=4 (full mode; the smoke stops at P=2).
+        at_four = sweep.get("speedup_scan_sort", {}).get("4")
+        if isinstance(at_four, (int, float)) \
+                and at_four < MIN_PSF_SCAN_SPEEDUP:
+            problems.append(
+                f"parallel scan+sort speedup at P=4 {at_four:.2f}x "
+                f"under floor {MIN_PSF_SCAN_SPEEDUP:.2f}x")
     return problems
 
 
@@ -605,6 +741,9 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="write the results JSON here")
     parser.add_argument("--smoke", action="store_true",
                         help="reduced sizes for CI")
+    parser.add_argument("--only", metavar="PREFIX", default=None,
+                        help="run only scenarios whose name starts with "
+                             "PREFIX (skips full-schema validation)")
     parser.add_argument("--check-against", metavar="REF",
                         help="reference JSON to gate regressions against")
     parser.add_argument("--max-regression", type=float, default=0.30,
@@ -614,12 +753,30 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     mode = "smoke" if args.smoke else "full"
-    print(f"perf suite ({mode})")
-    payload = run_suite(mode, echo=print)
+    suffix = f", only={args.only}" if args.only else ""
+    print(f"perf suite ({mode}{suffix})")
+    payload = run_suite(mode, only=args.only, echo=print)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.out}")
+
+    if args.only:
+        # Light validation: a filtered payload is missing required
+        # scenarios by design, so just demand the filter matched and
+        # nothing that ran failed.
+        problems = [] if payload["scenarios"] else \
+            [f"--only {args.only} matched no scenarios"]
+        for scenario in payload["scenarios"]:
+            if not scenario.get("ok"):
+                problems.append(
+                    f"scenario {scenario.get('name')} failed: "
+                    f"{scenario.get('error', 'unknown error')}")
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        if not problems:
+            print(f"ok: {len(payload['scenarios'])} scenario(s)")
+        return 1 if problems else 0
 
     reference = None
     if args.check_against:

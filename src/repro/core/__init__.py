@@ -21,6 +21,8 @@ from repro.core.maintenance import (
     IndexMaintenance,
     NSF_MODE,
     OFFLINE_MODE,
+    PSF_MODE,
+    SF_LIKE_MODES,
     SF_MODE,
     install_maintenance,
 )
@@ -37,6 +39,22 @@ BUILDERS = {
     "offline": OfflineIndexBuilder,
 }
 
+#: builders resumable from a utility checkpoint
+RESUMABLE_MODES = ("nsf", "sf", "psf")
+
+
+def get_builder(mode: str):
+    """Builder class for ``mode``, including the lazily imported ones.
+
+    ``repro.parallel`` imports ``repro.core``; resolving "psf" lazily
+    here (instead of registering it in :data:`BUILDERS` at import time)
+    keeps the dependency one-directional.
+    """
+    if mode == "psf":
+        from repro.parallel import ParallelSFBuilder
+        return ParallelSFBuilder
+    return BUILDERS[mode]
+
 
 def build_pre_undo(system: "System", utility_state: dict) -> None:
     """Recovery hook reinstalling build context before the undo pass.
@@ -49,6 +67,9 @@ def build_pre_undo(system: "System", utility_state: dict) -> None:
         sf_pre_undo(system, utility_state)
     elif builder == "nsf":
         nsf_pre_undo(system, utility_state)
+    elif builder == "psf":
+        from repro.parallel import psf_pre_undo
+        psf_pre_undo(system, utility_state)
 
 
 def resume_build(system: "System", utility_state: dict
@@ -59,11 +80,11 @@ def resume_build(system: "System", utility_state: dict
     Spawn the returned builder's ``run()`` to continue the build.
     """
     mode = utility_state.get("builder")
-    if mode not in ("nsf", "sf"):
+    if mode not in RESUMABLE_MODES:
         return None
     if utility_state.get("phase") == "done":
         return None
-    builder_cls = BUILDERS[mode]
+    builder_cls = get_builder(mode)
     return builder_cls.resume(system, utility_state)
 
 
@@ -80,9 +101,13 @@ __all__ = [
     "NSF_MODE",
     "OFFLINE_MODE",
     "OfflineIndexBuilder",
+    "PSF_MODE",
+    "RESUMABLE_MODES",
     "SFIndexBuilder",
+    "SF_LIKE_MODES",
     "SF_MODE",
     "build_pre_undo",
+    "get_builder",
     "cancel_build",
     "cleanup_pseudo_deleted",
     "install_maintenance",

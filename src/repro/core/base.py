@@ -80,6 +80,9 @@ class BuildOptions:
     sort_sidefile: bool = False
     #: simulated time per key extracted during the scan
     key_extract_cost: float = 0.05
+    #: PSF: number of range partitions / scan workers (None -> builder
+    #: default; ignored by the serial builders)
+    partitions: Optional[int] = None
 
 
 class BuilderBase:
@@ -349,6 +352,8 @@ class BuilderBase:
         if self.context is not None:
             payload["current_rid"] = tuple(self.context.current_rid)
             payload["index_build"] = self.context.index_build
+            if self.context.frontier is not None:
+                payload["frontier"] = self.context.frontier.to_manifest()
         self.system.log.write_checkpoint(
             _txn_table_snapshot(self.system),
             dict(self.system.buffer.dirty),

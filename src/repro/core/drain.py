@@ -1,0 +1,112 @@
+"""Side-file drain and atomic flag flip (section 3.2.5).
+
+Extracted from :mod:`repro.core.sf` so the serial SF builder and the
+partitioned parallel builder (:mod:`repro.parallel`) share one copy of
+the drain loop, the sorted-chunk optimization, and -- critically -- the
+atomic completion test that flips ``Index_Build`` off.  The behaviour is
+exactly the serial builder's: IB applies side-file entries in order with
+undo-redo logging, checkpoints its position, and when the drain position
+reaches the end of the file flips the descriptor to AVAILABLE in the same
+atomic step (no yields), so a racing append either landed before the test
+(and was processed) or lands after the flip and goes directly to the
+index.
+"""
+
+from __future__ import annotations
+
+from repro.core.descriptor import IndexState
+from repro.faultinject.sites import fault_point
+
+
+class SideFileDrainer:
+    """Mixin providing SF's phase-4 drain for :class:`BuilderBase` heirs.
+
+    Expects the host class to provide ``system``, ``options``,
+    ``context``, ``_mark`` and ``_write_utility_checkpoint`` (all defined
+    by :class:`repro.core.base.BuilderBase`).
+    """
+
+    def _drain_phase(self, descriptor, start_position: int,
+                     loaded: list, drained: list):
+        tree = descriptor.tree
+        sidefile = self.system.sidefiles[descriptor.name]
+        ib_txn = self.system.txns.begin(f"IB-drain-{descriptor.name}")
+        position = start_position
+        since_checkpoint = 0
+        checkpoint_every = self.options.checkpoint_every_keys
+
+        if self.options.sort_sidefile and position < len(sidefile.entries):
+            position = yield from self._drain_sorted_chunk(
+                descriptor, ib_txn, sidefile, position)
+
+        drain_batch = 64
+        while True:
+            while position < len(sidefile.entries):
+                # Feed the tree batches instead of single entries: one
+                # traversal + latch hold covers a whole batch of
+                # consecutive same-leaf entries (bounded so checkpoints
+                # still land on schedule).
+                take = len(sidefile.entries) - position
+                if take > drain_batch:
+                    take = drain_batch
+                if checkpoint_every:
+                    slack = checkpoint_every - since_checkpoint
+                    if slack >= 1 and take > slack:
+                        take = slack
+                batch = [(entry.operation, entry.key_value, entry.rid)
+                         for entry in
+                         sidefile.entries[position:position + take]]
+                position += take
+                yield from tree.sf_drain_apply_batch(ib_txn, batch)
+                self.system.metrics.incr("build.sidefile_drained", take)
+                since_checkpoint += take
+                if checkpoint_every and since_checkpoint >= checkpoint_every:
+                    yield from ib_txn.commit()
+                    sidefile.force()
+                    self._write_utility_checkpoint({
+                        "phase": "drain",
+                        "index": descriptor.name,
+                        "position": position,
+                        "loaded_indexes": list(loaded),
+                        "drained_indexes": list(drained),
+                    })
+                    ib_txn = self.system.txns.begin(
+                        f"IB-drain-{descriptor.name}")
+                    since_checkpoint = 0
+                    self.system.metrics.incr("build.drain_checkpoints")
+                    fault_point(self.system.metrics, "sf.drain_checkpoint")
+            # Atomic completion test: no yields between the length check
+            # and the state flip, so a racing append either landed before
+            # (and was processed) or lands after the flip and goes
+            # directly to the index (section 3.2.5).
+            fault_point(self.system.metrics, "sf.flag_flip.before")
+            if position == len(sidefile.entries):
+                descriptor.state = IndexState.AVAILABLE
+                if self.context is not None \
+                        and descriptor in self.context.descriptors:
+                    self.context.descriptors.remove(descriptor)
+                fault_point(self.system.metrics, "sf.flag_flip.after")
+                break
+        tree.verify_unique()
+        yield from ib_txn.commit()
+        self.system.metrics.observe(
+            f"build.sidefile_length.{descriptor.name}", position)
+        self._mark(f"drain_done:{descriptor.name}")
+
+    def _drain_sorted_chunk(self, descriptor, ib_txn, sidefile,
+                            position: int):
+        """Section 3.2.5 optimization: sort the current side-file contents
+        (stable with respect to identical keys) before applying, so the
+        tree is updated in key order; the remainder arriving during the
+        sorted pass is processed sequentially by the caller."""
+        end = len(sidefile.entries)
+        chunk = list(enumerate(sidefile.entries[position:end],
+                               start=position))
+        chunk.sort(key=lambda item: (item[1].key_value, item[1].rid,
+                                     item[0]))
+        for _original_pos, entry in chunk:
+            yield from descriptor.tree.sf_drain_apply(
+                ib_txn, entry.operation, entry.key_value, entry.rid)
+            self.system.metrics.incr("build.sidefile_drained")
+            self.system.metrics.incr("build.sidefile_drained_sorted")
+        return end

@@ -41,7 +41,14 @@ if TYPE_CHECKING:  # pragma: no cover
 
 NSF_MODE = "nsf"
 SF_MODE = "sf"
+PSF_MODE = "psf"
 OFFLINE_MODE = "offline"
+
+#: Modes that route maintenance through a side-file.  PSF (the partitioned
+#: parallel build, :mod:`repro.parallel`) is SF with a frontier *vector*
+#: instead of a single Current-RID; the Figure 1 / Figure 2 logic is
+#: otherwise identical.
+SF_LIKE_MODES = (SF_MODE, PSF_MODE)
 
 
 @dataclass
@@ -79,9 +86,23 @@ class BuildContext:
     current_rid: RID = RID(0, 0)
     #: SF's Index_Build flag (section 3.2.1)
     index_build: bool = True
+    #: PSF's per-partition frontier vector (one Current-RID per shard,
+    #: :class:`repro.sidefile.ScanFrontier`).  ``None`` for serial builds.
+    frontier: Optional[object] = None
 
     def covers(self, descriptor: "IndexDescriptor") -> bool:
         return descriptor in self.descriptors
+
+    def scanned(self, rid: RID) -> bool:
+        """Generalized ``Target-RID < Current-RID`` test (section 3.1).
+
+        With a frontier vector installed, the record is scanned iff it is
+        behind the frontier of the shard owning its page; otherwise the
+        paper's single-scan comparison applies.
+        """
+        if self.frontier is not None:
+            return self.frontier.scanned(rid)
+        return rid < self.current_rid
 
 
 class IndexMaintenance:
@@ -106,8 +127,8 @@ class IndexMaintenance:
         if context is not None and context.covers(descriptor):
             if context.mode == NSF_MODE:
                 return True  # visible since descriptor creation (§2.2.1)
-            if context.mode == SF_MODE:
-                return rid < context.current_rid  # §3.1
+            if context.mode in SF_LIKE_MODES:
+                return context.scanned(rid)  # §3.1, frontier-generalized
             return False  # offline: never maintained by transactions
         # BUILDING descriptor with no live context (builder crashed, not
         # yet resumed).  NSF indexes stay visible -- their maintenance
@@ -166,17 +187,25 @@ class IndexMaintenance:
             in_sf_build = (descriptor.state is not IndexState.AVAILABLE
                            and context is not None
                            and context.covers(descriptor)
-                           and context.mode == SF_MODE)
+                           and context.mode in SF_LIKE_MODES)
             if in_sf_build:
                 snapshot.sf_routed.append(descriptor.name)
             for operation, key in keyed:
                 if in_sf_build:
                     sidefile = self.system.sidefiles[descriptor.name]
                     sidefile.append_sync(txn, operation, key, rid)
+                    self._count_shard_append(context, rid)
                 else:
                     snapshot.direct.append(
                         (descriptor, operation, key, rid))
         return snapshot
+
+    def _count_shard_append(self, context: "BuildContext",
+                            rid: RID) -> None:
+        """Attribute a side-file append to the shard owning its page."""
+        if context.frontier is not None:
+            shard = context.frontier.shard_of(rid.page_no)
+            self.system.metrics.incr(f"psf.sidefile_appends.{shard}")
 
     def apply_direct(self, txn: "Transaction", snapshot: "OpSnapshot"):
         """Generator: perform the deferred direct tree updates."""
@@ -248,11 +277,12 @@ class IndexMaintenance:
         in_sf_build = (descriptor.state is not IndexState.AVAILABLE
                        and context is not None
                        and context.covers(descriptor)
-                       and context.mode == SF_MODE)
+                       and context.mode in SF_LIKE_MODES)
         for operation, key in changes:
             if in_sf_build:
                 sidefile = self.system.sidefiles[descriptor.name]
                 sidefile.append_during_undo(txn, operation, key, rid)
+                self._count_shard_append(context, rid)
             else:
                 # Completed build: logical undo by traversing the tree.
                 tree = descriptor.tree

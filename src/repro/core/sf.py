@@ -29,6 +29,7 @@ from typing import Optional, TYPE_CHECKING
 from repro.btree.loader import BulkLoader
 from repro.core.base import BuilderBase, IndexSpec
 from repro.core.descriptor import IndexState
+from repro.core.drain import SideFileDrainer
 from repro.core.maintenance import BuildContext, SF_MODE, install_maintenance
 from repro.faultinject.sites import fault_point
 from repro.sidefile import SideFile, register_sidefile_operations
@@ -40,7 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.system import System
 
 
-class SFIndexBuilder(BuilderBase):
+class SFIndexBuilder(SideFileDrainer, BuilderBase):
     """Side-File online index builder."""
 
     mode = SF_MODE
@@ -88,6 +89,18 @@ class SFIndexBuilder(BuilderBase):
                 for d in self.descriptors}
             phase = "load"
 
+        yield from self._load_and_drain(phase, loaded, drained, mergers,
+                                        drain_positions)
+
+        self._remove_context()
+        self._write_utility_checkpoint({"phase": "done"})
+        self._mark("done")
+        return self.descriptors
+
+    def _load_and_drain(self, phase, loaded, drained, mergers,
+                        drain_positions):
+        """Phases 3 and 4 (shared with the parallel builder): bottom-up
+        bulk load per index, then the logged side-file drain + flip."""
         if phase in ("load", "load-start"):
             for descriptor in self.descriptors:
                 if descriptor.name in loaded:
@@ -117,11 +130,6 @@ class SFIndexBuilder(BuilderBase):
             fault_point(self.system.metrics, "sf.drain_start")
             yield from self._drain_phase(descriptor, start, loaded, drained)
             drained.append(descriptor.name)
-
-        self._remove_context()
-        self._write_utility_checkpoint({"phase": "done"})
-        self._mark("done")
-        return self.descriptors
 
     # -- phase 1: descriptor without quiesce --------------------------------------
 
@@ -205,92 +213,11 @@ class SFIndexBuilder(BuilderBase):
         self._mark(f"load_done:{descriptor.name}")
         fault_point(self.system.metrics, "sf.load_done")
 
-    # -- phase 4: side-file drain -----------------------------------------------------------
-
-    def _drain_phase(self, descriptor, start_position: int,
-                     loaded: list, drained: list):
-        tree = descriptor.tree
-        sidefile = self.system.sidefiles[descriptor.name]
-        ib_txn = self.system.txns.begin(f"IB-drain-{descriptor.name}")
-        position = start_position
-        since_checkpoint = 0
-        checkpoint_every = self.options.checkpoint_every_keys
-
-        if self.options.sort_sidefile and position < len(sidefile.entries):
-            position = yield from self._drain_sorted_chunk(
-                descriptor, ib_txn, sidefile, position)
-
-        drain_batch = 64
-        while True:
-            while position < len(sidefile.entries):
-                # Feed the tree batches instead of single entries: one
-                # traversal + latch hold covers a whole batch of
-                # consecutive same-leaf entries (bounded so checkpoints
-                # still land on schedule).
-                take = len(sidefile.entries) - position
-                if take > drain_batch:
-                    take = drain_batch
-                if checkpoint_every:
-                    slack = checkpoint_every - since_checkpoint
-                    if slack >= 1 and take > slack:
-                        take = slack
-                batch = [(entry.operation, entry.key_value, entry.rid)
-                         for entry in
-                         sidefile.entries[position:position + take]]
-                position += take
-                yield from tree.sf_drain_apply_batch(ib_txn, batch)
-                self.system.metrics.incr("build.sidefile_drained", take)
-                since_checkpoint += take
-                if checkpoint_every and since_checkpoint >= checkpoint_every:
-                    yield from ib_txn.commit()
-                    sidefile.force()
-                    self._write_utility_checkpoint({
-                        "phase": "drain",
-                        "index": descriptor.name,
-                        "position": position,
-                        "loaded_indexes": list(loaded),
-                        "drained_indexes": list(drained),
-                    })
-                    ib_txn = self.system.txns.begin(
-                        f"IB-drain-{descriptor.name}")
-                    since_checkpoint = 0
-                    self.system.metrics.incr("build.drain_checkpoints")
-                    fault_point(self.system.metrics, "sf.drain_checkpoint")
-            # Atomic completion test: no yields between the length check
-            # and the state flip, so a racing append either landed before
-            # (and was processed) or lands after the flip and goes
-            # directly to the index (section 3.2.5).
-            fault_point(self.system.metrics, "sf.flag_flip.before")
-            if position == len(sidefile.entries):
-                descriptor.state = IndexState.AVAILABLE
-                if self.context is not None \
-                        and descriptor in self.context.descriptors:
-                    self.context.descriptors.remove(descriptor)
-                fault_point(self.system.metrics, "sf.flag_flip.after")
-                break
-        tree.verify_unique()
-        yield from ib_txn.commit()
-        self.system.metrics.observe(
-            f"build.sidefile_length.{descriptor.name}", position)
-        self._mark(f"drain_done:{descriptor.name}")
-
-    def _drain_sorted_chunk(self, descriptor, ib_txn, sidefile,
-                            position: int):
-        """Section 3.2.5 optimization: sort the current side-file contents
-        (stable with respect to identical keys) before applying, so the
-        tree is updated in key order; the remainder arriving during the
-        sorted pass is processed sequentially by the caller."""
-        end = len(sidefile.entries)
-        chunk = list(enumerate(sidefile.entries[position:end],
-                               start=position))
-        chunk.sort(key=lambda item: (item[1].key_value, item[1].rid,
-                                     item[0]))
-        for _original_pos, entry in chunk:
-            yield from descriptor.tree.sf_drain_apply(
-                ib_txn, entry.operation, entry.key_value, entry.rid)
-            self.system.metrics.incr("build.sidefile_drained")
-            self.system.metrics.incr("build.sidefile_drained_sorted")
-        return end
+    # -- phase 4: side-file drain --------------------------------------------
+    #
+    # ``_drain_phase`` / ``_drain_sorted_chunk`` live in the shared
+    # :class:`repro.core.drain.SideFileDrainer` mixin so the parallel
+    # builder reuses the identical drain + atomic flag flip.
 
     # -- restart (section 3.2.4 / 3.2.5) ------------------------------------------------------
 

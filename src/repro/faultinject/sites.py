@@ -105,6 +105,22 @@ SITE_DOCS = {
     "sf.drain_checkpoint": "SF drain checkpoint about to be taken",
     "sf.flag_flip.before": "side-file drained, flag flip not yet done",
     "sf.flag_flip.after": "Index_Build flag just flipped to AVAILABLE",
+    # PSF (partitioned parallel) builder
+    "psf.descriptor_done":
+        "PSF descriptors + side-files + frontier vector installed",
+    "psf.worker.scan_page": "a PSF shard worker read one heap page",
+    "psf.worker.checkpoint":
+        "a PSF shard worker's independent sort checkpoint beginning",
+    "psf.worker_done":
+        "a shard finished scanning: runs sealed, frontier at infinity",
+    "psf.manifest_checkpoint": "the shared build manifest just checkpointed",
+    "psf.barrier": "all shard workers arrived at the scan barrier",
+    "psf.scan_done": "PSF scan/sort finished across every shard",
+    "psf.merge_batch": "a shard merge worker moved one batch of keys",
+    "psf.merge_run_done":
+        "a merged run sealed and its inputs discarded (atomic)",
+    "psf.merge_shard_done": "one shard's runs collapsed to the merge target",
+    "psf.merge_done": "every shard merge worker joined",
 }
 
 

@@ -28,10 +28,10 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.core import (
-    BUILDERS,
     BuildOptions,
     IndexSpec,
     build_pre_undo,
+    get_builder,
     resume_build,
 )
 from repro.faultinject.injector import (
@@ -66,6 +66,7 @@ class SweepConfig:
     max_hits_per_site: int = 2  # 1 = first hit only, 2 = first+last, 3 = +middle
     include_damage_kinds: bool = True
     max_plans: Optional[int] = None
+    partitions: int = 2         # psf shard count (ignored by nsf/sf)
 
     def system_config(self) -> SystemConfig:
         return SystemConfig(page_capacity=8, leaf_capacity=8,
@@ -76,7 +77,21 @@ class SweepConfig:
         return BuildOptions(
             checkpoint_every_pages=self.checkpoint_every_pages,
             checkpoint_every_keys=self.checkpoint_every_keys,
-            commit_every_keys=self.commit_every_keys)
+            commit_every_keys=self.commit_every_keys,
+            partitions=self.partitions)
+
+    def make_injector(self, plan: Optional[FaultPlan] = None
+                      ) -> FaultInjector:
+        """Injector whose kernel-step watch list covers this builder's
+        processes: psf adds the per-shard scan and merge workers, so the
+        sweep censuses dynamic ``kernel.step.psf-worker-<i>`` /
+        ``kernel.step.psf-merge-<i>`` sites per worker."""
+        watch = ["builder", "resumed"]
+        if self.builder == "psf":
+            for shard in range(self.partitions):
+                watch.append(f"psf-worker-{shard}")
+                watch.append(f"psf-merge-{shard}")
+        return FaultInjector(plan, watch_processes=tuple(watch))
 
 
 @dataclass
@@ -168,7 +183,7 @@ def _start_build(config: SweepConfig,
         raise preload.error
     if injector is not None:
         injector.install(system)
-    builder_cls = BUILDERS[config.builder]
+    builder_cls = get_builder(config.builder)
     builder = builder_cls(system, table, IndexSpec.of(INDEX_NAME, ["k"]),
                           options=config.build_options())
     proc = system.spawn(builder.run(), name="builder")
@@ -182,7 +197,7 @@ def discover(config: SweepConfig) -> dict:
     Also asserts the clean run completes and audits, so a broken baseline
     is reported as such rather than as a wall of injected failures.
     """
-    injector = FaultInjector()
+    injector = config.make_injector()
     system, _table, proc = _start_build(config, injector)
     system.run()
     if proc.error is not None:
@@ -206,7 +221,7 @@ def _recover_and_audit(config: SweepConfig, system: System) -> str:
         # The crash landed before the build's first checkpoint: the
         # orphaned descriptor was discarded and the build is simply
         # reissued from scratch (the documented contract).
-        rebuild_cls = BUILDERS[config.builder]
+        rebuild_cls = get_builder(config.builder)
         table = recovered.tables["t"]
         rebuilder = rebuild_cls(recovered, table,
                                 IndexSpec.of(INDEX_NAME, ["k"]),
@@ -226,7 +241,7 @@ def _recover_and_audit(config: SweepConfig, system: System) -> str:
 def run_plan(config: SweepConfig, plan: FaultPlan) -> PlanResult:
     """Replay the seeded build with ``plan`` armed; recover and audit."""
     result = PlanResult(plan=plan)
-    injector = FaultInjector(plan)
+    injector = config.make_injector(plan)
     system, _table, proc = _start_build(config, injector)
     system.run()
     result.site_hits = dict(injector.hits)
@@ -317,7 +332,10 @@ def main(argv: Optional[list] = None) -> int:
         description="Crash-sweep a seeded online index build: inject one "
                     "fault per (site, hit) pair and prove restart "
                     "recovery + audit.")
-    parser.add_argument("--builder", choices=("nsf", "sf"), default="sf")
+    parser.add_argument("--builder", choices=("nsf", "sf", "psf"),
+                        default="sf")
+    parser.add_argument("--partitions", type=int, default=2,
+                        help="psf shard count (ignored by nsf/sf)")
     parser.add_argument("--records", type=int, default=500)
     parser.add_argument("--operations", type=int, default=150)
     parser.add_argument("--seed", type=int, default=7)
@@ -332,6 +350,7 @@ def main(argv: Optional[list] = None) -> int:
 
     config = SweepConfig(
         builder=args.builder,
+        partitions=args.partitions,
         records=args.records,
         operations=args.operations,
         seed=args.seed,

@@ -1,5 +1,16 @@
 """Metrics collection for the simulated DBMS."""
 
+from repro.metrics.partition import (
+    partition_skew,
+    partition_values,
+    skew_summary,
+)
 from repro.metrics.registry import MetricsRegistry, SeriesStat
 
-__all__ = ["MetricsRegistry", "SeriesStat"]
+__all__ = [
+    "MetricsRegistry",
+    "SeriesStat",
+    "partition_skew",
+    "partition_values",
+    "skew_summary",
+]

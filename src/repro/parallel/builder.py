@@ -1,0 +1,494 @@
+"""Algorithm PSF: partitioned parallel side-file index build.
+
+The paper's SF (section 3) is single-scanner: one IB process scans the
+heap, feeds a pipelined sort, bulk-loads bottom-up, drains the side-file.
+Its own cost analysis (section 6) shows the scan+sort phase dominating --
+exactly the part that partitions cleanly.  PSF range-partitions the
+table's page space into P shards and runs the paper's phase 2 once per
+shard, concurrently:
+
+1. **Descriptor creation without quiesce** -- as SF, plus a
+   :class:`~repro.sidefile.ScanFrontier` (one Current-RID per shard)
+   installed in the build context.  Updaters route maintenance with the
+   generalized test ``Target-RID < frontier[shard_of(page)]`` (Figure 1,
+   applied shard-wise).
+2. **Parallel scan + run formation** -- one kernel process per shard
+   scans its page range (the last shard chases end of file, section
+   3.2.2), pushes keys into that shard's replacement-selection sorter,
+   and advances its own frontier entry under the page latch.  Each worker
+   checkpoints *independently*: it updates its slot in a shared build
+   manifest (per-shard sort checkpoints + scan positions) and writes the
+   whole manifest as one utility checkpoint, so a crash resumes only the
+   unfinished shards.  Workers rendezvous at a kernel
+   :class:`~repro.sim.kernel.Barrier`.
+3. **Parallel shard merge** -- one worker per shard collapses its runs to
+   ``merge_fanin // P`` runs (simulated merge cost, crash-safe at pass
+   granularity -- see :mod:`repro.parallel.merge`), then the coordinator
+   builds the usual streaming final merger over all shards' survivors.
+4. **Bulk load + side-file drain** -- byte-for-byte SF's phases 3 and 4,
+   inherited from :class:`~repro.core.sf.SFIndexBuilder` and the shared
+   :class:`~repro.core.drain.SideFileDrainer`.
+
+Because ``Delay`` models I/O, shard scans overlap on the simulated clock
+and the scan+sort phase shortens near-linearly in P until the serial
+load+drain tail dominates (Amdahl); ``bench/perf.py``'s ``parallel_sf``
+scenarios record the sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.maintenance import BuildContext, PSF_MODE, \
+    install_maintenance
+from repro.core.sf import SFIndexBuilder
+from repro.core.base import IndexSpec
+from repro.faultinject.sites import fault_point, fault_points_enabled
+from repro.parallel.merge import sim_merge_until
+from repro.sidefile import ScanFrontier, SideFile, partition_pages, \
+    register_sidefile_operations
+from repro.sim.kernel import Acquire, Barrier, Delay, ProcessGroup
+from repro.sim.latch import SHARE
+from repro.sort import RunFormation
+from repro.storage.rid import INFINITY_RID, RID
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system import System
+
+#: default shard count when neither the constructor nor the options say
+DEFAULT_PARTITIONS = 2
+
+
+class ParallelSFBuilder(SFIndexBuilder):
+    """Partitioned parallel Side-File online index builder."""
+
+    mode = PSF_MODE
+
+    def __init__(self, system, table, specs, options=None,
+                 partitions: Optional[int] = None):
+        super().__init__(system, table, specs, options)
+        if partitions is None:
+            partitions = self.options.partitions or DEFAULT_PARTITIONS
+        if partitions < 1:
+            raise ValueError(f"need at least one partition, got {partitions}")
+        self.partitions = partitions
+        #: shard id -> {"done", "next_page", "ckpt_page", "sort", "runs"};
+        #: the shared build manifest every worker checkpoint rewrites
+        self._shard_states: dict[int, dict] = {}
+        #: shard id -> {index name -> RunFormation}
+        self._shard_sorters: dict[int, dict[str, RunFormation]] = {}
+
+    @property
+    def _shard_workspace(self) -> int:
+        """Replacement-selection slots per shard: the serial workspace is
+        split across shards so total sort memory stays comparable."""
+        return max(2, self.sort_workspace // self.partitions)
+
+    # -- main process ------------------------------------------------------
+
+    def run(self):
+        """Generator process body (the coordinator)."""
+        self._mark("start")
+        if self._resume_state is None:
+            self._descriptor_phase()
+            phase = "pscan"
+            loaded: list[str] = []
+            drained: list[str] = []
+            mergers: dict = {}
+            drain_positions: dict[str, int] = {}
+        else:
+            (phase, _scan_start, loaded, drained, mergers,
+             drain_positions) = self._prepare_resume()
+
+        if phase == "pscan":
+            yield from self._parallel_scan_phase()
+            # Every shard frontier is at infinity now; keep the scalar
+            # Current-RID in sync for the serial-path consumers (§3.2.2).
+            self.context.current_rid = INFINITY_RID
+            self._mark("scan_done")
+            fault_point(self.system.metrics, "psf.scan_done")
+            # Transition checkpoint, exactly as SF: from here a crash
+            # resumes by rebuilding the merge from forced, closed runs --
+            # which is also the crash contract of the parallel shard
+            # merges below (see repro.parallel.merge).
+            self._write_utility_checkpoint({
+                "phase": "load-start", "loaded_indexes": []})
+            mergers = yield from self._parallel_merge_phase()
+            self._mark("pmerge_done")
+            phase = "load"
+
+        yield from self._load_and_drain(phase, loaded, drained, mergers,
+                                        drain_positions)
+
+        self._remove_context()
+        self._write_utility_checkpoint({"phase": "done"})
+        self._mark("done")
+        return self.descriptors
+
+    # -- phase 1: descriptor + frontier without quiesce ---------------------
+
+    def _descriptor_phase(self) -> None:
+        self._create_descriptors()
+        register_sidefile_operations(self.system)
+        for descriptor in self.descriptors:
+            self.system.sidefiles[descriptor.name] = SideFile(
+                self.system, descriptor.name)
+        frontier = ScanFrontier(
+            partition_pages(self.table.page_count, self.partitions))
+        self._install_context(current_rid=RID(0, 0), index_build=True,
+                              frontier=frontier)
+        self.system.metrics.observe("build.quiesce_wait", 0.0)
+        self.system.metrics.observe("build.quiesce_hold", 0.0)
+        for partition in frontier.partitions:
+            state = {"done": False, "next_page": partition.start,
+                     "ckpt_page": partition.start, "sort": {}, "runs": {}}
+            self._shard_states[partition.index] = state
+            self._shard_sorters[partition.index] = {
+                d.name: RunFormation(self._store_for(d),
+                                     self._shard_workspace)
+                for d in self.descriptors}
+            self.system.metrics.observe(
+                f"psf.shard_pages.{partition.index}", partition.pages)
+        self._checkpoint_shards()
+        self._mark("descriptor_done")
+        fault_point(self.system.metrics, "psf.descriptor_done")
+
+    # -- phase 2: partitioned parallel scan ---------------------------------
+
+    def _parallel_scan_phase(self):
+        """Spawn one scan worker per unfinished shard; rendezvous at the
+        barrier, then join (propagating worker errors)."""
+        sim = self.system.sim
+        pending = [shard for shard, state in sorted(self._shard_states.items())
+                   if not state["done"]]
+        if not pending:
+            return
+        barrier = Barrier(sim, parties=len(pending) + 1)
+        group = ProcessGroup(sim, name="psf-scan")
+        for shard in pending:
+            group.spawn(self._shard_worker(shard, barrier),
+                        name=f"psf-worker-{shard}")
+        self.system.metrics.incr("psf.scan_workers", len(pending))
+        yield from barrier.wait()
+        fault_point(self.system.metrics, "psf.barrier")
+        yield from group.join_all()
+
+    def _shard_worker(self, shard: int, barrier: Barrier):
+        """One shard's process: scan -> seal runs -> checkpoint -> barrier."""
+        started = self.system.sim.now
+        yield from self._shard_scan(shard)
+        state = self._shard_states[shard]
+        sorters = self._shard_sorters[shard]
+        # Seal this shard's sort: runs closed + forced, names into the
+        # manifest; the shard's frontier jumps to infinity (its whole
+        # range is now extracted) -- all synchronous, then checkpointed.
+        state["runs"] = {name: [run.name for run in sorter.finish()]
+                         for name, sorter in sorters.items()}
+        state["sort"] = {}
+        state["done"] = True
+        self.context.frontier.finish(shard)
+        first = next(iter(sorters.values()), None)
+        metrics = self.system.metrics
+        metrics.observe(f"psf.shard_keys.{shard}",
+                        first.keys_pushed if first is not None else 0)
+        metrics.observe(f"psf.shard_scan_time.{shard}",
+                        self.system.sim.now - started)
+        fault_point(metrics, "psf.worker_done")
+        self._checkpoint_shards()
+        yield from barrier.wait()
+
+    def _shard_scan(self, shard: int):
+        """The per-shard copy of the paper's scan loop (section 3.2.2):
+        prefetch batches, share-latch each page, extract keys into this
+        shard's sorters, advance this shard's frontier under the latch."""
+        frontier = self.context.frontier
+        partition = frontier.partitions[shard]
+        table = self.table
+        state = self._shard_states[shard]
+        page_no = state["next_page"]
+        checkpoint_every = self.options.checkpoint_every_pages
+        pages_since_checkpoint = 0
+        metrics = self.system.metrics
+        extractors = [(d.key_of, self._shard_sorters[shard][d.name].push)
+                      for d in self.descriptors]
+        fp_enabled = fault_points_enabled(metrics)
+        while True:
+            # The last shard chases the end of file: extensions made ahead
+            # of its frontier produced no side-file entries (§3.2.2).
+            limit = table.page_count if partition.chases_eof \
+                else partition.end
+            if page_no >= limit:
+                break
+            upto = min(page_no + self.prefetch_pages, limit)
+            batch_ids = [table.page_id(p) for p in range(page_no, upto)]
+            pages = yield from self.system.buffer.fetch_sequential(batch_ids)
+            for page in pages:
+                yield Acquire(page.latch, SHARE)
+                try:
+                    records = page.live_records()
+                    for rid, record in records:
+                        raw = tuple(rid)
+                        for key_of, push in extractors:
+                            push((key_of(record), raw))
+                        if fp_enabled:
+                            fault_point(metrics, "build.sort_push")
+                    if records:
+                        yield Delay(len(records)
+                                    * self.options.key_extract_cost)
+                    # Advance this shard's Current-RID, still under the
+                    # page latch (section 3.1's protocol, per shard).
+                    frontier.advance(
+                        shard, RID(page.page_id.page_no + 1, 0))
+                finally:
+                    page.latch.release(self.system.sim.current)
+                metrics.incr("build.pages_scanned")
+                metrics.incr(f"psf.pages_scanned.{shard}")
+                fault_point(metrics, "psf.worker.scan_page")
+            pages_since_checkpoint += len(batch_ids)
+            page_no = upto
+            state["next_page"] = page_no
+            if checkpoint_every is not None \
+                    and pages_since_checkpoint >= checkpoint_every \
+                    and page_no < limit:
+                self._checkpoint_shard_progress(shard, page_no)
+                pages_since_checkpoint = 0
+        return page_no
+
+    # -- independent worker checkpoints -------------------------------------
+
+    def _checkpoint_shard_progress(self, shard: int, next_page: int) -> None:
+        """One worker's sort-phase checkpoint (section 5.1, per shard):
+        drain + force this shard's runs, record the manifests and the
+        restart scan position, rewrite the shared build manifest."""
+        fault_point(self.system.metrics, "psf.worker.checkpoint")
+        state = self._shard_states[shard]
+        state["sort"] = {
+            name: sorter.checkpoint(scan_position=next_page)
+            for name, sorter in self._shard_sorters[shard].items()}
+        state["next_page"] = next_page
+        state["ckpt_page"] = next_page
+        self._checkpoint_shards()
+        self.system.metrics.incr("build.scan_checkpoints")
+
+    def _checkpoint_shards(self) -> None:
+        """Write the whole build manifest as one utility checkpoint.
+
+        Synchronous, so the manifest is globally consistent: every other
+        shard's slot is exactly its own last checkpoint (slots only
+        change inside a worker's synchronous checkpoint step).
+        """
+        shards = {
+            shard: {"done": state["done"],
+                    "next_page": state["next_page"],
+                    "ckpt_page": state["ckpt_page"],
+                    "sort": dict(state["sort"]),
+                    "runs": {name: list(names)
+                             for name, names in state["runs"].items()}}
+            for shard, state in self._shard_states.items()}
+        self._write_utility_checkpoint({
+            "phase": "pscan",
+            "partitions": self.partitions,
+            "shards": shards,
+        })
+        self.system.metrics.incr("psf.manifest_checkpoints")
+        fault_point(self.system.metrics, "psf.manifest_checkpoint")
+
+    # -- phase 3a: parallel shard merge -------------------------------------
+
+    def _parallel_merge_phase(self):
+        """Collapse each shard's runs concurrently, then build the final
+        streaming merger per index over all shards' survivors."""
+        sim = self.system.sim
+        shards = sorted(self._shard_states)
+        per_shard = max(1, self.merge_fanin // max(1, len(shards)))
+        group = ProcessGroup(sim, name="psf-merge")
+        for shard in shards:
+            group.spawn(self._shard_merge_worker(shard, per_shard),
+                        name=f"psf-merge-{shard}")
+        yield from group.join_all()
+        fault_point(self.system.metrics, "psf.merge_done")
+        mergers = {}
+        for descriptor in self.descriptors:
+            store = self._store_for(descriptor)
+            runs = []
+            for shard in shards:
+                names = self._shard_states[shard]["runs"].get(
+                    descriptor.name, [])
+                runs.extend(store.get(name) for name in names)
+            mergers[descriptor.name] = self._final_merger(descriptor, runs)
+        return mergers
+
+    def _shard_merge_worker(self, shard: int, target: int):
+        """One shard's merge process: reduce its runs per index down to
+        ``target`` with simulated-cost, crash-safe passes."""
+        state = self._shard_states[shard]
+        for descriptor in self.descriptors:
+            store = self._store_for(descriptor)
+            runs = [store.get(name)
+                    for name in state["runs"].get(descriptor.name, [])]
+            merged = yield from sim_merge_until(
+                self.system, store, runs, self.merge_fanin, target,
+                shard=shard)
+            state["runs"][descriptor.name] = [run.name for run in merged]
+        fault_point(self.system.metrics, "psf.merge_shard_done")
+
+    # -- restart ------------------------------------------------------------
+
+    @classmethod
+    def resume(cls, system: "System", utility_state: dict
+               ) -> "ParallelSFBuilder":
+        table = system.tables[utility_state["table"]]
+        specs = [IndexSpec(name, tuple(cols), unique)
+                 for name, cols, unique in utility_state["specs"]]
+        builder = cls(system, table, specs,
+                      partitions=utility_state.get("partitions")
+                      or _manifest_partitions(utility_state) or 1)
+        builder.descriptors = [system.indexes[name]
+                               for name in utility_state["indexes"]]
+        register_sidefile_operations(system)
+        install_maintenance(system, table)
+        context = system.builds.get(table.name)
+        if context is None:
+            context = psf_pre_undo(system, utility_state) \
+                or BuildContext(mode=PSF_MODE,
+                                descriptors=list(builder.descriptors))
+            system.builds[table.name] = context
+        builder.context = context
+        builder._resume_state = utility_state
+        return builder
+
+    def _prepare_resume(self):
+        state = self._resume_state
+        if state.get("phase") != "pscan":
+            # load-start / load / drain / done: SF's resume path applies
+            # verbatim (rebuild mergers from surviving closed runs, torn
+            # fallback, drain positions); just seal the frontier first.
+            result = super()._prepare_resume()
+            if self.context is not None \
+                    and self.context.frontier is not None:
+                self.context.frontier.finish_all()
+            return result
+        # pscan: restore only the unfinished shards.  The frontier in the
+        # context was rebuilt by psf_pre_undo from each shard's own last
+        # checkpoint, so visibility during recovery matched the scan
+        # restart positions computed here.
+        for descriptor in self.descriptors:
+            if descriptor.tree.media_damaged:
+                self._reset_tree(descriptor.tree)
+        frontier = self.context.frontier
+        if frontier is None:
+            frontier = _frontier_from_state(state)
+            self.context.frontier = frontier
+        keep: list[str] = []
+        self._shard_states = {}
+        self._shard_sorters = {}
+        resumed_shards = 0
+        for shard_key, raw in state.get("shards", {}).items():
+            shard = int(shard_key)
+            shard_state = {"done": bool(raw.get("done")),
+                           "next_page": raw.get("next_page", 0),
+                           "ckpt_page": raw.get("ckpt_page", 0),
+                           "sort": dict(raw.get("sort", {})),
+                           "runs": {name: list(names) for name, names
+                                    in raw.get("runs", {}).items()}}
+            self._shard_states[shard] = shard_state
+            if shard_state["done"]:
+                frontier.finish(shard)
+                for names in shard_state["runs"].values():
+                    keep.extend(names)
+                continue
+            resumed_shards += 1
+            sorters: dict[str, RunFormation] = {}
+            restart_page = frontier.partitions[shard].start
+            for descriptor in self.descriptors:
+                store = self._store_for(descriptor)
+                manifest = shard_state["sort"].get(descriptor.name)
+                if manifest is not None:
+                    sorter, restart_page = RunFormation.restore(
+                        store, manifest, self._shard_workspace,
+                        prune=False)
+                    keep.extend(manifest["runs"])
+                else:
+                    sorter = RunFormation(store, self._shard_workspace)
+                sorters[descriptor.name] = sorter
+            self._shard_sorters[shard] = sorters
+            shard_state["next_page"] = restart_page
+            shard_state["ckpt_page"] = restart_page
+            frontier.current[shard] = RID(restart_page, 0)
+        # One union prune per store: discard runs no checkpointed shard
+        # references ("discard any output sorted streams that did not
+        # exist as of the last checkpoint", section 5.1, shard-wise).
+        for descriptor in self.descriptors:
+            self._store_for(descriptor).keep_only(keep)
+        self.system.metrics.incr("build.resumes.scan")
+        self.system.metrics.incr("psf.resumed_shards", resumed_shards)
+        self.system.metrics.incr(
+            "psf.skipped_shards", len(self._shard_states) - resumed_shards)
+        return "pscan", 0, [], [], {}, {}
+
+
+def _manifest_partitions(utility_state: dict) -> int:
+    manifest = utility_state.get("frontier")
+    if manifest is None:
+        return 0
+    return len(manifest.get("partitions", ()))
+
+
+def _frontier_from_state(utility_state: dict) -> ScanFrontier:
+    """Rebuild the frontier vector from a PSF utility checkpoint.
+
+    For the scan phase each shard's Current-RID comes from *that shard's*
+    last checkpointed scan position, NOT the live frontier at manifest
+    write time: keys scanned past a shard's checkpoint died with the
+    crash and will be re-extracted, so recovery-time visibility must
+    treat them as unscanned (the shard-wise version of resuming the
+    serial scan from its checkpoint, section 5.1).
+    """
+    manifest = utility_state.get("frontier")
+    if manifest is not None:
+        frontier = ScanFrontier.from_manifest(manifest)
+    else:  # pre-frontier checkpoint: degenerate single shard
+        frontier = ScanFrontier(partition_pages(0, 1))
+    phase = utility_state.get("phase")
+    if phase != "pscan":
+        frontier.finish_all()
+        return frontier
+    for shard_key, raw in utility_state.get("shards", {}).items():
+        shard = int(shard_key)
+        if shard >= len(frontier.current):
+            continue
+        if raw.get("done"):
+            frontier.finish(shard)
+        else:
+            start = frontier.partitions[shard].start
+            frontier.current[shard] = RID(raw.get("ckpt_page", start), 0)
+    return frontier
+
+
+def psf_pre_undo(system: "System", utility_state: dict
+                 ) -> Optional[BuildContext]:
+    """Reinstall the PSF build context before recovery's undo pass.
+
+    The parallel analogue of :func:`repro.core.sf.sf_pre_undo`: Figure
+    2's count comparison needs the checkpointed frontier vector and
+    Index_Build flag to classify visibility during loser rollback.
+    """
+    if utility_state.get("builder") != PSF_MODE:
+        return None
+    if utility_state.get("phase") == "done":
+        return None
+    table = system.tables[utility_state["table"]]
+    descriptors = [system.indexes[name]
+                   for name in utility_state["indexes"]
+                   if name in system.indexes]
+    frontier = _frontier_from_state(utility_state)
+    current_rid = INFINITY_RID if frontier.done else RID(0, 0)
+    context = BuildContext(
+        mode=PSF_MODE,
+        descriptors=descriptors,
+        current_rid=current_rid,
+        index_build=bool(utility_state.get("index_build", True)),
+        frontier=frontier,
+    )
+    system.builds[table.name] = context
+    return context

@@ -143,10 +143,10 @@ def _plan_damaged_trees(system: System, utility_state: dict,
     index from the forced, closed sort runs (section 6).  Any other tree
     is fully logged: reset its redo watermark and replay the whole log.
     """
-    from repro.core.maintenance import SF_MODE  # lazy: avoid cycle
+    from repro.core.maintenance import SF_LIKE_MODES  # lazy: avoid cycle
 
     sf_indexes = set(utility_state.get("indexes", [])) \
-        if utility_state.get("builder") == SF_MODE else set()
+        if utility_state.get("builder") in SF_LIKE_MODES else set()
     for name, descriptor in system.indexes.items():
         tree = descriptor.tree
         if not tree.media_damaged:

@@ -1,5 +1,6 @@
 """Append-only side-file (SF algorithm, section 3)."""
 
+from repro.sidefile.frontier import Partition, ScanFrontier, partition_pages
 from repro.sidefile.sidefile import (
     DELETE,
     INSERT,
@@ -11,7 +12,10 @@ from repro.sidefile.sidefile import (
 __all__ = [
     "DELETE",
     "INSERT",
+    "Partition",
+    "ScanFrontier",
     "SideFile",
     "SideFileEntry",
+    "partition_pages",
     "register_sidefile_operations",
 ]

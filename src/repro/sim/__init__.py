@@ -6,9 +6,11 @@ See :mod:`repro.sim.kernel` for the process/effect model and
 
 from repro.sim.kernel import (
     Acquire,
+    Barrier,
     Delay,
     Join,
     Process,
+    ProcessGroup,
     SimEvent,
     Simulator,
     Wait,
@@ -18,9 +20,11 @@ from repro.sim.latch import EXCLUSIVE, SHARE, Latch
 
 __all__ = [
     "Acquire",
+    "Barrier",
     "Delay",
     "Join",
     "Process",
+    "ProcessGroup",
     "SimEvent",
     "Simulator",
     "Wait",

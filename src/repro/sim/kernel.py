@@ -125,6 +125,87 @@ class SimEvent:
         return True
 
 
+class Barrier:
+    """A reusable synchronization point for ``parties`` processes.
+
+    Each participant runs ``yield from barrier.wait()``; the first
+    ``parties - 1`` arrivals block, and the last arrival releases the
+    whole generation at the current simulated instant (nobody pays extra
+    simulated time for the rendezvous itself).  The barrier then resets,
+    so successive phases of the same process group can reuse it.
+
+    ``wait()`` returns the 1-based generation number that was released,
+    which callers can use to assert phase alignment.
+    """
+
+    __slots__ = ("_sim", "parties", "generation", "_arrived", "_event")
+
+    def __init__(self, sim: "Simulator", parties: int) -> None:
+        if parties < 1:
+            raise SimulationError(f"barrier needs >= 1 party, got {parties}")
+        self._sim = sim
+        self.parties = parties
+        #: completed generations (a generation completes when the last
+        #: party arrives)
+        self.generation = 0
+        self._arrived = 0
+        self._event = sim.event()
+
+    @property
+    def waiting(self) -> int:
+        """Parties currently blocked at the barrier."""
+        return self._arrived
+
+    def wait(self):
+        """Generator: arrive at the barrier; resume when all parties have."""
+        self._arrived += 1
+        if self._arrived >= self.parties:
+            # Last arrival: release this generation and reset for reuse.
+            self._arrived = 0
+            self.generation += 1
+            event, self._event = self._event, self._sim.event()
+            event.set(self.generation)
+            return self.generation
+        generation = yield Wait(self._event)
+        return generation
+
+
+class ProcessGroup:
+    """Spawn-and-join bookkeeping for one parallel phase.
+
+    Groups the worker processes of a fan-out (e.g. the partition scanners
+    of a parallel index build) so the coordinator can join them all and
+    propagate the first worker error deterministically (lowest pid first)
+    instead of relying on the simulator's global failure behaviour.
+    """
+
+    __slots__ = ("_sim", "name", "processes")
+
+    def __init__(self, sim: "Simulator", name: str = "group") -> None:
+        self._sim = sim
+        self.name = name
+        self.processes: list[Process] = []
+
+    def spawn(self, body: ProcessBody, name: Optional[str] = None
+              ) -> Process:
+        proc = self._sim.spawn(
+            body, name=name or f"{self.name}-{len(self.processes)}")
+        self.processes.append(proc)
+        return proc
+
+    def __len__(self) -> int:
+        return len(self.processes)
+
+    def join_all(self):
+        """Generator: wait for every member; raise the first error seen."""
+        for proc in self.processes:
+            yield Join(proc)
+        for proc in self.processes:
+            if proc.error is not None:
+                raise proc.error
+        return [proc.result for proc in self.processes]
+
+
 class Simulator:
     """Event-driven scheduler over a simulated clock."""
 

@@ -146,15 +146,22 @@ class RunFormation:
 
     @classmethod
     def restore(cls, store: RunStore, manifest: dict,
-                workspace_size: int) -> tuple["RunFormation", Any]:
+                workspace_size: int,
+                prune: bool = True) -> tuple["RunFormation", Any]:
         """Rebuild run formation from a checkpoint after a crash.
 
         Returns ``(sorter, scan_position)``: the caller repositions IB's
         data scan to ``scan_position`` and resumes pushing keys.
+
+        ``prune=False`` skips discarding store runs outside the manifest:
+        the parallel build keeps several shards' sorters on one shared
+        store, so each shard restores with ``prune=False`` and the caller
+        issues a single union ``keep_only`` across every shard's manifest.
         """
         if manifest.get("phase") != "sort":
             raise SortRestartError("manifest is not a sort-phase checkpoint")
-        store.keep_only(list(manifest["runs"]))
+        if prune:
+            store.keep_only(list(manifest["runs"]))
         for name, length in manifest["run_lengths"].items():
             store.get(name).truncate(length)
         sorter = cls(store, workspace_size)

@@ -69,6 +69,10 @@ class SystemConfig:
     sort_workspace: int = 64
     #: maximum sorted runs merged in one pass
     merge_fanin: int = 8
+    #: simulated time per key moved by the parallel build's per-shard
+    #: merge workers (:mod:`repro.parallel`); serial builders fold merge
+    #: cost into ``bulk_load_key_cost`` via the pipelined final merge
+    merge_key_cost: float = 0.02
 
 
 class System:

@@ -75,6 +75,35 @@ def test_plan_enumeration_is_stratified():
     assert not any(d.startswith("torn-write@wal.append") for d in described)
 
 
+def test_psf_sweep_all_plans_recover():
+    """Capped parallel census: every (site, hit) pair of a P=2 parallel
+    build -- including the per-worker kernel-step sites -- recovers and
+    audits clean."""
+    config = _small_config("psf", partitions=2, max_hits_per_site=1)
+    report = run_sweep(config)
+    assert report.results, "sweep enumerated no plans"
+    assert report.all_passed, report.to_text()
+    assert all(r.fired for r in report.results), report.to_text()
+
+
+def test_psf_sweep_covers_the_parallel_sites():
+    """The parallel sweep must reach the new machinery: the shard
+    workers, their independent checkpoints, the shared manifest, the
+    barrier, and the shard merges."""
+    discovered = discover(_small_config("psf", partitions=2))
+    for site in ("psf.descriptor_done", "psf.worker.scan_page",
+                 "psf.worker.checkpoint", "psf.worker_done",
+                 "psf.manifest_checkpoint", "psf.barrier", "psf.scan_done",
+                 "psf.merge_batch", "psf.merge_run_done",
+                 "psf.merge_shard_done", "psf.merge_done",
+                 "sf.drain_start", "sf.flag_flip.before"):
+        assert site in discovered, f"{site} unreachable: {sorted(discovered)}"
+    # the dynamic kernel sites watch each worker process individually
+    for process in ("psf-worker-0", "psf-worker-1",
+                    "psf-merge-0", "psf-merge-1"):
+        assert f"kernel.step.{process}" in discovered, sorted(discovered)
+
+
 def test_sweep_catches_a_broken_checkpoint(monkeypatch):
     """Checkpoints that skip forcing the index pages violate section
     3.2.4 ("after all the dirty pages of the index have been written to

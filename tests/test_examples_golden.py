@@ -1,0 +1,50 @@
+"""Golden-output tests for the runnable examples.
+
+The drain/flip extraction that the parallel builder shares with the
+serial SF path must not change observable behaviour: the examples'
+stdout is captured byte-for-byte in ``tests/golden/`` and any drift --
+an extra checkpoint, a reordered phase, a changed counter -- fails here
+before it can silently change the documented walkthroughs.
+
+To refresh a golden after an *intentional* behaviour change::
+
+    PYTHONPATH=src python examples/quickstart.py > tests/golden/quickstart.out
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+#: examples with committed goldens (the deterministic, side-effect-free
+#: walkthroughs; crash_recovery.py is covered by the recovery suites)
+GOLDEN_EXAMPLES = ["quickstart.py", "online_migration.py"]
+
+
+def _run_example(name: str) -> bytes:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) \
+        + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / name)],
+        capture_output=True, env=env, timeout=300, check=False)
+    assert completed.returncode == 0, \
+        f"{name} exited {completed.returncode}:\n" \
+        f"{completed.stderr.decode(errors='replace')}"
+    return completed.stdout
+
+
+@pytest.mark.parametrize("name", GOLDEN_EXAMPLES)
+def test_example_output_matches_golden(name):
+    golden_path = GOLDEN_DIR / (pathlib.Path(name).stem + ".out")
+    expected = golden_path.read_bytes()
+    actual = _run_example(name)
+    assert actual == expected, (
+        f"{name} stdout drifted from {golden_path.name}; if the change "
+        f"is intentional, regenerate the golden (see module docstring)")

@@ -20,6 +20,7 @@ import pytest
 
 from repro.bench.perf import (
     MIN_IB_SPEEDUP,
+    MIN_PSF_SCAN_SPEEDUP,
     SCHEMA_VERSION,
     _ib_insert_run,
     _sorted_keys,
@@ -81,6 +82,50 @@ def test_check_payload_flags_regressions(smoke_payload):
     slow = copy.deepcopy(clean)
     find_scenario(slow, "micro/ib_insert_batch")["speedup"] = 0.5
     assert any("speedup" in p for p in check_payload(slow, clean))
+
+
+def test_committed_pr3_baseline_shows_parallel_speedup():
+    baseline = json.loads((REPO_ROOT / "BENCH_PR3.json").read_text())
+    assert validate_payload(baseline) == []
+    sweep = find_scenario(baseline, "parallel_sf/p_sweep")
+    assert sweep is not None and sweep["ok"]
+    assert sweep["speedup_scan_sort"]["4"] >= MIN_PSF_SCAN_SPEEDUP
+    for partitions in ("1", "2", "4", "8"):
+        scenario = find_scenario(baseline, f"parallel_sf/p{partitions}")
+        assert scenario is not None and scenario["ok"]
+        assert scenario["partition_skew"]["pages_scanned"]["per_shard"]
+
+
+def test_parallel_smoke_scenarios_report_sweep(smoke_payload):
+    sweep = find_scenario(smoke_payload, "parallel_sf/p_sweep")
+    assert sweep is not None and sweep["ok"]
+    assert sweep["kind"] == "summary"
+    assert sweep["speedup_scan_sort"]["1"] == pytest.approx(1.0)
+    assert sweep["speedup_scan_sort"]["2"] > 1.5
+    for partitions in ("1", "2"):
+        scenario = find_scenario(smoke_payload,
+                                 f"parallel_sf/p{partitions}")
+        assert scenario["counters"]["psf.scan_workers"] == int(partitions)
+
+
+def test_check_payload_flags_parallel_speedup_collapse(smoke_payload):
+    clean = copy.deepcopy(smoke_payload)
+    find_scenario(clean, "micro/ib_insert_batch")["speedup"] = 2.0
+    sweep = find_scenario(clean, "parallel_sf/p_sweep")
+    # the smoke sweep stops at P=2, so the P=4 gate must stay quiet ...
+    assert check_payload(clean, clean) == []
+    # ... and fire once a (synthesized) P=4 ratio drops under the floor
+    sweep["speedup_scan_sort"]["4"] = 1.1
+    assert any("P=4" in p for p in check_payload(clean, clean))
+
+
+def test_run_suite_only_filters_and_marks_payload():
+    payload = run_suite("smoke", only="parallel_sf")
+    names = [s["name"] for s in payload["scenarios"]]
+    assert names == ["parallel_sf/p1", "parallel_sf/p2",
+                     "parallel_sf/p_sweep"]
+    assert payload["only"] == "parallel_sf"
+    assert all(s["ok"] for s in payload["scenarios"])
 
 
 # -- determinism -------------------------------------------------------------

@@ -5,8 +5,10 @@ import pytest
 from repro.errors import SimulationError, SystemCrash
 from repro.sim import (
     Acquire,
+    Barrier,
     Delay,
     Join,
+    ProcessGroup,
     SimEvent,
     Simulator,
     Wait,
@@ -225,3 +227,170 @@ def test_exception_in_process_propagates():
     sim.spawn(body())
     with pytest.raises(ValueError):
         sim.run()
+
+
+# -- Barrier ---------------------------------------------------------------
+
+
+def test_barrier_releases_when_all_arrive():
+    released = []
+
+    def party(barrier, tag, delay):
+        yield Delay(delay)
+        generation = yield from barrier.wait()
+        released.append((tag, generation))
+
+    sim = Simulator()
+    barrier = Barrier(sim, parties=3)
+    sim.spawn(party(barrier, "a", 1))
+    sim.spawn(party(barrier, "b", 5))
+    sim.spawn(party(barrier, "c", 3))
+    sim.run()
+    # nobody proceeds before the slowest party, and the rendezvous itself
+    # costs no simulated time
+    assert sim.now == 5
+    assert sorted(released) == [("a", 1), ("b", 1), ("c", 1)]
+
+
+def test_barrier_last_arrival_does_not_block():
+    order = []
+
+    def early(barrier):
+        yield from barrier.wait()
+        order.append("early")
+
+    def late(barrier):
+        yield Delay(2)
+        yield from barrier.wait()
+        order.append("late-sync")  # runs before the event wakes waiters
+
+    sim = Simulator()
+    barrier = Barrier(sim, parties=2)
+    sim.spawn(early(barrier))
+    sim.spawn(late(barrier))
+    sim.run()
+    assert order == ["late-sync", "early"]
+
+
+def test_barrier_is_reusable_across_generations():
+    generations = []
+
+    def party(barrier, rounds):
+        for _ in range(rounds):
+            yield Delay(1)
+            generations.append((yield from barrier.wait()))
+
+    sim = Simulator()
+    barrier = Barrier(sim, parties=2)
+    sim.spawn(party(barrier, 3))
+    sim.spawn(party(barrier, 3))
+    sim.run()
+    assert generations == [1, 1, 2, 2, 3, 3]
+    assert barrier.generation == 3
+    assert barrier.waiting == 0
+
+
+def test_barrier_single_party_never_blocks():
+    def body(barrier):
+        first = yield from barrier.wait()
+        second = yield from barrier.wait()
+        return (first, second)
+
+    sim = Simulator()
+    proc = sim.spawn(body(Barrier(sim, parties=1)))
+    sim.run()
+    assert proc.result == (1, 2)
+    assert sim.now == 0
+
+
+def test_barrier_rejects_zero_parties():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Barrier(sim, parties=0)
+
+
+# -- ProcessGroup ----------------------------------------------------------
+
+
+def test_process_group_join_all_collects_results():
+    def worker(tag, delay):
+        yield Delay(delay)
+        return tag
+
+    def coordinator(sim, out):
+        group = ProcessGroup(sim, name="scan")
+        for tag, delay in (("a", 3), ("b", 1), ("c", 2)):
+            group.spawn(worker(tag, delay))
+        results = yield from group.join_all()
+        out.extend(results)
+
+    out = []
+    sim = Simulator()
+    sim.spawn(coordinator(sim, out))
+    sim.run()
+    # results come back in spawn order, not completion order
+    assert out == ["a", "b", "c"]
+    assert sim.now == 3
+
+
+def test_process_group_member_error_is_not_swallowed():
+    """A plain Python error in a group member is a bug, not a simulated
+    failure: the kernel propagates it out of ``run()`` at the instant it
+    fires, before the coordinator's join completes."""
+    def ok():
+        yield Delay(1)
+
+    def boom(message, delay):
+        yield Delay(delay)
+        raise RuntimeError(message)
+
+    def coordinator(sim, log):
+        group = ProcessGroup(sim)
+        group.spawn(ok())
+        group.spawn(boom("worker bug", 2))
+        yield from group.join_all()
+        log.append("joined")  # must never run
+
+    log = []
+    sim = Simulator()
+    sim.spawn(coordinator(sim, log))
+    with pytest.raises(RuntimeError, match="worker bug"):
+        sim.run()
+    assert log == []
+
+
+def test_process_group_join_all_raises_recorded_member_error():
+    """``join_all`` re-raises an error recorded on a member (lowest pid
+    first) even when the join itself observed only finished processes."""
+    def instant():
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    def coordinator(sim):
+        group = ProcessGroup(sim)
+        first = group.spawn(instant())
+        second = group.spawn(instant())
+        yield Delay(1)
+        # simulate what a crashed member looks like to the group
+        first.error = RuntimeError("lowest pid")
+        second.error = RuntimeError("highest pid")
+        yield from group.join_all()
+
+    sim = Simulator()
+    sim.spawn(coordinator(sim))
+    with pytest.raises(RuntimeError, match="lowest pid"):
+        sim.run()
+
+
+def test_process_group_names_members():
+    def worker():
+        yield Delay(1)
+
+    sim = Simulator()
+    group = ProcessGroup(sim, name="merge")
+    auto = group.spawn(worker())
+    named = group.spawn(worker(), name="merge-custom")
+    sim.run()
+    assert auto.name == "merge-0"
+    assert named.name == "merge-custom"
+    assert len(group) == 2
