@@ -10,7 +10,15 @@ This walks the happy path of the library in ~60 lines of user code:
 5. audit the finished index against the table, key for key.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace-out build.jsonl
+      python -m repro.obs.report build.jsonl
+
+``--trace-out`` records the build's structured trace (phase spans, the
+side-file flag flip, checkpoints) as JSONL.  Tracing is passive, so the
+run -- and the printed output -- is byte-identical with or without it.
 """
+
+import argparse
 
 from repro import (
     IndexSpec,
@@ -23,9 +31,18 @@ from repro import (
 )
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write the build's JSONL trace here")
+    args = parser.parse_args(argv)
+
     config = SystemConfig(page_capacity=16, leaf_capacity=16)
     system = System(config, seed=2026)
+    tracer = None
+    if args.trace_out:
+        from repro.obs import enable_tracing
+        tracer = enable_tracing(system)
     table = system.create_table("orders", ["order_id", "payload"])
 
     # -- preload 2,000 committed rows -----------------------------------
@@ -62,6 +79,9 @@ def main() -> None:
     print(f"\naudit: index == table, {report['entries']} entries, "
           f"height {report['height']}, "
           f"clustering {report['clustering']:.2f}")
+
+    if tracer is not None:
+        tracer.write_jsonl(args.trace_out)
 
 
 if __name__ == "__main__":

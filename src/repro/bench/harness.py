@@ -96,9 +96,18 @@ def run_build_experiment(algorithm: str, *,
                          index_specs: Optional[list[IndexSpec]] = None,
                          options: Optional[BuildOptions] = None,
                          config: Optional[SystemConfig] = None,
-                         audit: bool = True) -> BuildRunResult:
-    """One build of algorithm ``algorithm`` under an optional workload."""
+                         audit: bool = True,
+                         tracer=None) -> BuildRunResult:
+    """One build of algorithm ``algorithm`` under an optional workload.
+
+    ``tracer`` (a :class:`~repro.obs.TraceRecorder`) attaches passively
+    before anything runs, so the experiment's phase spans land in it
+    without perturbing the simulated schedule.
+    """
     system = System(config or bench_config(), seed=seed)
+    if tracer is not None:
+        from repro.obs import enable_tracing
+        enable_tracing(system, tracer)
     table = system.create_table("t", ["k", "p"])
     spec = WorkloadSpec(operations=operations, workers=workers,
                         rollback_fraction=rollback_fraction,

@@ -408,16 +408,33 @@ def micro_sidefile_redo(mode: str) -> dict:
 # ---------------------------------------------------------------------------
 
 
+def _trace_extras(recorder, system) -> dict:
+    """Additive scenario keys derived from the build's passive trace:
+    per-phase simulated durations plus the build-series stat snapshots
+    (observability satellite of the perf payload; ``validate_payload``
+    tolerates extra keys, so older baselines still compare)."""
+    from repro.obs import phase_durations
+
+    series = {name: stats for name, stats
+              in system.metrics.snapshot_stats().items()
+              if name.startswith(("build.", "psf."))}
+    return {"phases": phase_durations(recorder.events), "series": series}
+
+
 def _build_scenario(name: str, *, algorithm: str, rows: int,
                     operations: int = 0, seed: int = 0) -> dict:
+    from repro.obs import TraceRecorder
+
     params = {"algorithm": algorithm, "rows": rows,
               "operations": operations, "workers": 2, "seed": seed}
     options = BuildOptions(checkpoint_every_keys=200,
                            commit_every_keys=128)
+    recorder = TraceRecorder()
     started = time.perf_counter()
     result = run_build_experiment(
         algorithm, rows=rows, operations=operations, workers=2,
-        seed=seed, options=options, config=bench_config())
+        seed=seed, options=options, config=bench_config(),
+        tracer=recorder)
     wall = time.perf_counter() - started
     interesting = ("index.inserts.ib", "index.splits", "index.traversals",
                    "index.page_visits", "sidefile.appends",
@@ -425,11 +442,13 @@ def _build_scenario(name: str, *, algorithm: str, rows: int,
                    "build.ib_commits", "sort.keys_pushed")
     counters = {key: result.counters[key] for key in interesting
                 if key in result.counters}
-    return {"params": params,
-            "wall_seconds": wall,
-            "keys_per_second": rows / wall if wall else 0.0,
-            "sim_time": result.build_time,
-            "counters": counters}
+    scenario = {"params": params,
+                "wall_seconds": wall,
+                "keys_per_second": rows / wall if wall else 0.0,
+                "sim_time": result.build_time,
+                "counters": counters}
+    scenario.update(_trace_extras(recorder, result.system))
+    return scenario
 
 
 def _build_scenarios(mode: str) -> list[tuple[str, Callable[[], dict]]]:
@@ -472,15 +491,17 @@ def _parallel_sf_run(partitions: int, *, rows: int, operations: int,
     are machine-independent.
     """
     from repro.metrics import partition_skew
+    from repro.obs import TraceRecorder
 
     params = {"algorithm": "psf", "partitions": partitions, "rows": rows,
               "operations": operations, "workers": 2, "seed": seed}
     options = BuildOptions(checkpoint_every_keys=200,
                            commit_every_keys=128, partitions=partitions)
+    recorder = TraceRecorder()
     started = time.perf_counter()
     result = run_build_experiment(
         "psf", rows=rows, operations=operations, workers=2, seed=seed,
-        options=options, config=bench_config())
+        options=options, config=bench_config(), tracer=recorder)
     wall = time.perf_counter() - started
     timings = result.builder.timings
     scan_sort = timings["scan_done"] - timings["start"]
@@ -494,22 +515,24 @@ def _parallel_sf_run(partitions: int, *, rows: int, operations: int,
     counters = {key: result.counters[key] for key in interesting
                 if key in result.counters}
     metrics = result.system.metrics
-    return {"params": params,
-            "wall_seconds": wall,
-            "keys_per_second": rows / wall if wall else 0.0,
-            "sim_time": total,
-            "counters": counters,
-            "scan_sort_sim_time": scan_sort,
-            "merge_sim_time": merge,
-            "merge_share": merge / total if total else 0.0,
-            "partition_skew": {
-                "pages_scanned": partition_skew(
-                    metrics, "psf.pages_scanned", partitions),
-                "shard_keys": partition_skew(
-                    metrics, "psf.shard_keys", partitions),
-                "sidefile_appends": partition_skew(
-                    metrics, "psf.sidefile_appends", partitions),
-            }}
+    scenario = {"params": params,
+                "wall_seconds": wall,
+                "keys_per_second": rows / wall if wall else 0.0,
+                "sim_time": total,
+                "counters": counters,
+                "scan_sort_sim_time": scan_sort,
+                "merge_sim_time": merge,
+                "merge_share": merge / total if total else 0.0,
+                "partition_skew": {
+                    "pages_scanned": partition_skew(
+                        metrics, "psf.pages_scanned", partitions),
+                    "shard_keys": partition_skew(
+                        metrics, "psf.shard_keys", partitions),
+                    "sidefile_appends": partition_skew(
+                        metrics, "psf.sidefile_appends", partitions),
+                }}
+    scenario.update(_trace_extras(recorder, result.system))
+    return scenario
 
 
 def _parallel_scenarios(mode: str) \

@@ -887,14 +887,15 @@ class BTree:
         """
         rid = RID(*rid)
         composite = (key_value, rid)
-        leaf, _path = self._traverse(composite)
+        leaf, path = self._traverse(composite)
         yield Acquire(leaf.latch, EXCLUSIVE)
         try:
             self._sf_apply_one(ib_txn, leaf, operation, key_value, rid)
         finally:
             leaf.latch.release(self.system.sim.current)
         fault_point(self.system.metrics, "btree.drain_apply")
-        yield Delay(self.system.config.key_op_cost)
+        yield Delay(self.system.config.key_op_cost
+                    + self.system.config.drain_visit_cost * (len(path) + 1))
 
     def _sf_apply_one(self, ib_txn, leaf: LeafPage, operation: str,
                       key_value, rid: RID) -> None:
@@ -926,11 +927,16 @@ class BTree:
         Semantically ``sf_drain_apply`` per entry, but one traversal and
         one leaf-latch hold cover every consecutive entry that still falls
         inside the latched leaf's fences; the first entry outside them
-        re-traverses.  WAL records are written per entry (unchanged), the
-        per-entry ``btree.drain_apply`` fault site still fires at every
-        entry when an injector is installed, and the simulated CPU charge
-        is one :class:`Delay` of ``key_op_cost * group`` per latch hold --
-        identical total to the per-entry path.
+        re-traverses.  WAL records are written per entry (unchanged) and
+        the per-entry ``btree.drain_apply`` fault site still fires at
+        every entry when an injector is installed.  The simulated charge
+        per latch hold is ``key_op_cost`` per entry plus
+        ``drain_visit_cost`` per page the one descent visited; with a
+        nonzero ``drain_visit_cost`` batching shrinks the drain's
+        catch-up window by amortizing descents (EXPERIMENTS.md E19) --
+        the per-entry path pays that descent for every entry.  At the
+        default ``drain_visit_cost = 0`` the total equals the per-entry
+        path exactly, preserving the baseline calibration.
 
         ``entries`` is a sequence of ``(operation, key_value, rid)``.
         Returns the number of entries applied.
@@ -938,6 +944,7 @@ class BTree:
         metrics = self.system.metrics
         fp_enabled = fault_points_enabled(metrics)
         key_op_cost = self.system.config.key_op_cost
+        visit_cost = self.system.config.drain_visit_cost
         leaf_covers = self._leaf_covers
         apply_one = self._sf_apply_one
         work = [(op, kv, RID(*raw_rid)) for op, kv, raw_rid in entries]
@@ -946,7 +953,7 @@ class BTree:
         index = 0
         while index < total:
             operation, key_value, rid = work[index]
-            leaf, _path = self._traverse((key_value, rid))
+            leaf, path = self._traverse((key_value, rid))
             yield Acquire(leaf.latch, EXCLUSIVE)
             group = 0
             try:
@@ -966,7 +973,8 @@ class BTree:
                 leaf.latch.release(self.system.sim.current)
             if group:
                 applied += group
-                yield Delay(key_op_cost * group)
+                yield Delay(key_op_cost * group
+                            + visit_cost * (len(path) + 1))
         return applied
 
     def verify_unique(self) -> None:

@@ -78,6 +78,11 @@ class BuildOptions:
     #: SF: sort the first chunk of the side-file before applying it
     #: (section 3.2.5 performance note)
     sort_sidefile: bool = False
+    #: SF/PSF: side-file entries fed to the tree per drain batch (one
+    #: traversal + latch hold covers the batch); larger batches shorten
+    #: the catch-up window at the cost of coarser checkpoint spacing
+    #: (experiment E19)
+    drain_batch: int = 64
     #: simulated time per key extracted during the scan
     key_extract_cost: float = 0.05
     #: PSF: number of range partitions / scan workers (None -> builder
@@ -106,6 +111,10 @@ class BuilderBase:
         self.timings: dict[str, float] = {}
         self.error: Optional[BaseException] = None
         self._sorters: dict[str, RunFormation] = {}
+        #: open trace spans by key (see :meth:`_trace_begin`)
+        self._trace_spans: dict[str, int] = {}
+        #: wal.bytes counter at span begin, for per-phase WAL volume
+        self._trace_wal: dict[str, int] = {}
 
     # -- option resolution -------------------------------------------------
 
@@ -197,6 +206,8 @@ class BuilderBase:
         extractors = [(d.key_of, self._sorters[d.name].push)
                       for d in self.descriptors]
         fp_enabled = fault_points_enabled(metrics)
+        pages_before = metrics.get("build.pages_scanned")
+        self._trace_begin("scan", start_page=start_page)
         while True:
             last_page = self._scan_limit(noted_last_page)
             if page_no >= last_page:
@@ -229,6 +240,9 @@ class BuilderBase:
                     and page_no < last_page:
                 self._checkpoint_scan(page_no)
                 pages_since_checkpoint = 0
+        self._trace_end("scan",
+                        pages=metrics.get("build.pages_scanned")
+                        - pages_before)
         return last_page
 
     def _scan_and_sort_parallel(self, start_page: int = 0):
@@ -366,6 +380,53 @@ class BuilderBase:
 
     def _mark(self, label: str) -> None:
         self.timings[label] = self.system.sim.now
+
+    # -- trace helpers (zero-cost when metrics.tracer is None) ----------------------------------
+
+    def _trace_begin(self, name: str, key: Optional[str] = None,
+                     parent: Optional[int] = None, **attrs) -> None:
+        """Open a phase span named ``name``.
+
+        ``key`` disambiguates concurrent same-name spans (per-shard
+        workers); it defaults to ``name``.  Unless ``parent`` is given,
+        the span nests under the open ``build`` root span.  The current
+        ``wal.bytes`` counter is snapshotted so :meth:`_trace_end` can
+        attach the WAL volume appended while the span was open.
+        """
+        tracer = self.system.metrics.tracer
+        if tracer is None:
+            return
+        key = key or name
+        if parent is None and name != "build":
+            parent = self._trace_spans.get("build")
+        self._trace_wal[key] = self.system.metrics.get("wal.bytes")
+        self._trace_spans[key] = tracer.begin_span(name, parent=parent,
+                                                   **attrs)
+
+    def _trace_end(self, key: str, **attrs) -> None:
+        tracer = self.system.metrics.tracer
+        if tracer is None:
+            return
+        span_id = self._trace_spans.pop(key, None)
+        if span_id is None:
+            return
+        base = self._trace_wal.pop(key, None)
+        if base is not None:
+            attrs["wal_bytes"] = self.system.metrics.get("wal.bytes") - base
+        tracer.end_span(span_id, **attrs)
+
+    def _trace_instant(self, name: str, **attrs) -> None:
+        tracer = self.system.metrics.tracer
+        if tracer is not None:
+            tracer.instant(name, **attrs)
+
+    def _trace_gauge(self, name: str, value, **attrs) -> None:
+        tracer = self.system.metrics.tracer
+        if tracer is not None:
+            tracer.gauge(name, value, **attrs)
+
+    def _trace_span_id(self, key: str) -> Optional[int]:
+        return self._trace_spans.get(key)
 
 
 def _txn_table_snapshot(system: "System") -> dict:

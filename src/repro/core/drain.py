@@ -34,12 +34,18 @@ class SideFileDrainer:
         position = start_position
         since_checkpoint = 0
         checkpoint_every = self.options.checkpoint_every_keys
+        self._trace_begin("drain", key=f"drain:{descriptor.name}",
+                          index=descriptor.name,
+                          start_position=start_position,
+                          backlog=len(sidefile.entries) - position)
+        tracer = self.system.metrics.tracer
 
         if self.options.sort_sidefile and position < len(sidefile.entries):
             position = yield from self._drain_sorted_chunk(
                 descriptor, ib_txn, sidefile, position)
+            sidefile.drain_position = position
 
-        drain_batch = 64
+        drain_batch = self.options.drain_batch
         while True:
             while position < len(sidefile.entries):
                 # Feed the tree batches instead of single entries: one
@@ -59,6 +65,11 @@ class SideFileDrainer:
                 position += take
                 yield from tree.sf_drain_apply_batch(ib_txn, batch)
                 self.system.metrics.incr("build.sidefile_drained", take)
+                sidefile.drain_position = position
+                if tracer is not None:
+                    tracer.gauge("sidefile.backlog",
+                                 len(sidefile.entries) - position,
+                                 index=descriptor.name)
                 since_checkpoint += take
                 if checkpoint_every and since_checkpoint >= checkpoint_every:
                     yield from ib_txn.commit()
@@ -85,12 +96,16 @@ class SideFileDrainer:
                 if self.context is not None \
                         and descriptor in self.context.descriptors:
                     self.context.descriptors.remove(descriptor)
+                self._trace_instant("sf.flip", index=descriptor.name,
+                                    position=position)
                 fault_point(self.system.metrics, "sf.flag_flip.after")
                 break
         tree.verify_unique()
         yield from ib_txn.commit()
         self.system.metrics.observe(
             f"build.sidefile_length.{descriptor.name}", position)
+        self._trace_end(f"drain:{descriptor.name}",
+                        drained=position - start_position)
         self._mark(f"drain_done:{descriptor.name}")
 
     def _drain_sorted_chunk(self, descriptor, ib_txn, sidefile,
@@ -98,15 +113,23 @@ class SideFileDrainer:
         """Section 3.2.5 optimization: sort the current side-file contents
         (stable with respect to identical keys) before applying, so the
         tree is updated in key order; the remainder arriving during the
-        sorted pass is processed sequentially by the caller."""
+        sorted pass is processed sequentially by the caller.
+
+        Key order is where drain batching pays off most: consecutive
+        sorted entries land on the same leaf, so each batch collapses to
+        a handful of traversals (EXPERIMENTS.md E19 measures the window
+        shrinking as ``drain_batch`` grows)."""
         end = len(sidefile.entries)
         chunk = list(enumerate(sidefile.entries[position:end],
                                start=position))
         chunk.sort(key=lambda item: (item[1].key_value, item[1].rid,
                                      item[0]))
-        for _original_pos, entry in chunk:
-            yield from descriptor.tree.sf_drain_apply(
-                ib_txn, entry.operation, entry.key_value, entry.rid)
-            self.system.metrics.incr("build.sidefile_drained")
-            self.system.metrics.incr("build.sidefile_drained_sorted")
+        drain_batch = max(1, self.options.drain_batch)
+        metrics = self.system.metrics
+        for start in range(0, len(chunk), drain_batch):
+            batch = [(entry.operation, entry.key_value, entry.rid)
+                     for _pos, entry in chunk[start:start + drain_batch]]
+            yield from descriptor.tree.sf_drain_apply_batch(ib_txn, batch)
+            metrics.incr("build.sidefile_drained", len(batch))
+            metrics.incr("build.sidefile_drained_sorted", len(batch))
         return end

@@ -49,6 +49,9 @@ class NSFIndexBuilder(BuilderBase):
     def run(self):
         """Generator process body: build all requested indexes online."""
         self._mark("start")
+        self._trace_begin("build", mode=self.mode, table=self.table.name,
+                          indexes=[s.name for s in self.specs],
+                          resumed=self._resume_state is not None)
         if self._resume_state is None:
             yield from self._descriptor_phase()
             self._make_sorters()
@@ -85,6 +88,7 @@ class NSFIndexBuilder(BuilderBase):
         self._remove_context()
         self._write_utility_checkpoint({"phase": "done"})
         self._mark("done")
+        self._trace_end("build")
         return self.descriptors
 
     # -- phase 1: descriptor under short quiesce ---------------------------------
@@ -96,11 +100,15 @@ class NSFIndexBuilder(BuilderBase):
         lock_granted = self.system.sim.now
         self.system.metrics.observe("build.quiesce_wait",
                                     lock_granted - lock_requested)
+        self._trace_instant("quiesce.begin",
+                            waited=lock_granted - lock_requested)
         self._create_descriptors()
         self._install_context()
         yield from quiesce_txn.commit()  # ends the quiesce
         self.system.metrics.observe("build.quiesce_hold",
                                     self.system.sim.now - lock_granted)
+        self._trace_instant("quiesce.end",
+                            held=self.system.sim.now - lock_granted)
         # Initial checkpoint so a crash before the first periodic scan
         # checkpoint can still resume (from page zero).
         self._write_utility_checkpoint({
@@ -118,9 +126,19 @@ class NSFIndexBuilder(BuilderBase):
 
     # -- phase 3: key insertion ------------------------------------------------------
 
+    def _trace_watermark(self, descriptor, highest) -> None:
+        """Gauge the gradual-availability frontier (footnote 3)."""
+        if self.system.metrics.tracer is None or highest is None:
+            return
+        from repro.obs.recorder import key_metric
+        self._trace_gauge("read_watermark", key_metric(highest[0]),
+                          index=descriptor.name, key=str(highest[0]))
+
     def _insert_phase(self, descriptor, merger: Optional[RestartableMerger],
                       done_indexes: list):
         tree = descriptor.tree
+        self._trace_begin("insert", key=f"insert:{descriptor.name}",
+                          index=descriptor.name)
         ib_txn = self.system.txns.begin(f"IB-insert-{descriptor.name}")
         cursor = IBCursor()
         since_commit = 0
@@ -144,6 +162,7 @@ class NSFIndexBuilder(BuilderBase):
                 # serve reads of lower key ranges (opt-in, see
                 # repro.query.set_gradual_availability).
                 descriptor.read_watermark = highest
+                self._trace_watermark(descriptor, highest)
                 ib_txn = self.system.txns.begin(
                     f"IB-insert-{descriptor.name}")
                 since_commit = 0
@@ -156,6 +175,7 @@ class NSFIndexBuilder(BuilderBase):
                 # here stalled gradual availability whenever checkpoints
                 # fired more often than (or instead of) plain commits.
                 descriptor.read_watermark = highest
+                self._trace_watermark(descriptor, highest)
                 manifest = merger.checkpoint()
                 self._write_utility_checkpoint({
                     "phase": "insert",
@@ -173,6 +193,8 @@ class NSFIndexBuilder(BuilderBase):
         yield from ib_txn.commit()
         if highest is not None:
             descriptor.read_watermark = highest
+            self._trace_watermark(descriptor, highest)
+        self._trace_end(f"insert:{descriptor.name}")
         self._mark(f"insert_done:{descriptor.name}")
         fault_point(self.system.metrics, "nsf.insert_done")
 

@@ -26,12 +26,16 @@ class OfflineIndexBuilder(BuilderBase):
     def run(self):
         """Generator process body: build all requested indexes."""
         self._mark("start")
+        self._trace_begin("build", mode=self.mode, table=self.table.name,
+                          indexes=[s.name for s in self.specs])
         txn = self.system.txns.begin("IB-offline")
         lock_requested = self.system.sim.now
         yield from txn.lock(self.table.table_lock_name, "X")
         self.system.metrics.observe(
             "build.quiesce_wait", self.system.sim.now - lock_requested)
         self._mark("quiesced")
+        self._trace_instant("quiesce.begin",
+                            waited=self.system.sim.now - lock_requested)
         try:
             self._create_descriptors()
             self._make_sorters()
@@ -42,6 +46,8 @@ class OfflineIndexBuilder(BuilderBase):
             runs_by_index = self._finish_sort()
             self._mark("scan_done")
             for descriptor in self.descriptors:
+                self._trace_begin("load", key=f"load:{descriptor.name}",
+                                  index=descriptor.name)
                 merger = self._final_merger(
                     descriptor, runs_by_index[descriptor.name])
                 loader = BulkLoader(
@@ -59,12 +65,17 @@ class OfflineIndexBuilder(BuilderBase):
                             64 * self.system.config.bulk_load_key_cost)
                 loader.finish()
                 descriptor.tree.force()
+                self._trace_end(f"load:{descriptor.name}", keys=loaded)
             self._mark_available()
             self._mark("built")
         finally:
             yield from txn.commit()  # releases the X lock
         self.system.metrics.observe(
             "build.quiesce_hold", self.system.sim.now - self.timings["quiesced"])
+        self._trace_instant(
+            "quiesce.end",
+            held=self.system.sim.now - self.timings["quiesced"])
         self._write_utility_checkpoint({"phase": "done"})
         self._mark("done")
+        self._trace_end("build")
         return self.descriptors

@@ -59,6 +59,9 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
     def run(self):
         """Generator process body: build all requested indexes online."""
         self._mark("start")
+        self._trace_begin("build", mode=self.mode, table=self.table.name,
+                          indexes=[s.name for s in self.specs],
+                          resumed=self._resume_state is not None)
         if self._resume_state is None:
             self._descriptor_phase()
             self._make_sorters()
@@ -95,6 +98,7 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
         self._remove_context()
         self._write_utility_checkpoint({"phase": "done"})
         self._mark("done")
+        self._trace_end("build")
         return self.descriptors
 
     def _load_and_drain(self, phase, loaded, drained, mergers,
@@ -172,6 +176,9 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
     def _load_phase(self, descriptor, merger: Optional[RestartableMerger],
                     loaded: list, loader: Optional[BulkLoader] = None):
         tree = descriptor.tree
+        self._trace_begin("load", key=f"load:{descriptor.name}",
+                          index=descriptor.name)
+        keys_loaded = 0
         if loader is None:
             # resume() degrades to a fresh loader on an empty tree, and
             # continues after the checkpointed right-most path otherwise
@@ -186,6 +193,7 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
             if key is None:
                 break
             loader.append(key[0], RID(*key[1]))
+            keys_loaded += 1
             since_checkpoint += 1
             since_yield += 1
             if since_yield >= 64:
@@ -210,6 +218,7 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
             yield Delay(since_yield * self.system.config.bulk_load_key_cost)
         loader.finish()
         tree.force()
+        self._trace_end(f"load:{descriptor.name}", keys=keys_loaded)
         self._mark(f"load_done:{descriptor.name}")
         fault_point(self.system.metrics, "sf.load_done")
 

@@ -104,6 +104,9 @@ class PlanResult:
     passed: bool = False
     detail: str = ""
     site_hits: dict = field(default_factory=dict)
+    #: JSONL trace of the failed run (build + crash + recovery attempt);
+    #: None for passing plans -- only failures carry their evidence
+    trace: Optional[str] = None
 
     @property
     def failed(self) -> bool:
@@ -165,14 +168,21 @@ class SweepReport:
 
 
 def _start_build(config: SweepConfig,
-                 injector: Optional[FaultInjector] = None):
+                 injector: Optional[FaultInjector] = None,
+                 tracer=None):
     """Preload the table, then launch the builder and the workload.
 
     Returns ``(system, table, driver, builder_proc)``.  The injector is
     installed *after* the preload, so site hit counts (and therefore plan
-    hit numbers) cover exactly the build-era schedule.
+    hit numbers) cover exactly the build-era schedule.  ``tracer`` (a
+    :class:`~repro.obs.TraceRecorder`) attaches *passively* -- no gauge
+    sampler process -- so the traced schedule is step-identical to the
+    untraced one and plan hit numbers stay valid.
     """
     system = System(config.system_config(), seed=config.seed)
+    if tracer is not None:
+        from repro.obs import enable_tracing
+        enable_tracing(system, tracer)
     table = system.create_table("t", ["k", "p"])
     spec = WorkloadSpec(operations=config.operations, workers=config.workers,
                         think_time=1.0, rollback_fraction=0.2)
@@ -191,14 +201,14 @@ def _start_build(config: SweepConfig,
     return system, table, proc
 
 
-def discover(config: SweepConfig) -> dict:
+def discover(config: SweepConfig, tracer=None) -> dict:
     """Run the build once, unarmed; return the {site: hit count} census.
 
     Also asserts the clean run completes and audits, so a broken baseline
     is reported as such rather than as a wall of injected failures.
     """
     injector = config.make_injector()
-    system, _table, proc = _start_build(config, injector)
+    system, _table, proc = _start_build(config, injector, tracer=tracer)
     system.run()
     if proc.error is not None:
         raise proc.error
@@ -239,10 +249,19 @@ def _recover_and_audit(config: SweepConfig, system: System) -> str:
 
 
 def run_plan(config: SweepConfig, plan: FaultPlan) -> PlanResult:
-    """Replay the seeded build with ``plan`` armed; recover and audit."""
+    """Replay the seeded build with ``plan`` armed; recover and audit.
+
+    Every run records a passive trace; a failing plan's
+    :attr:`PlanResult.trace` carries the whole story (build spans, the
+    injected crash, the recovery attempt) as JSONL for offline triage
+    with ``python -m repro.obs.report``.
+    """
+    from repro.obs import TraceRecorder
+
     result = PlanResult(plan=plan)
+    recorder = TraceRecorder()
     injector = config.make_injector(plan)
-    system, _table, proc = _start_build(config, injector)
+    system, _table, proc = _start_build(config, injector, tracer=recorder)
     system.run()
     result.site_hits = dict(injector.hits)
     if injector.fired is None:
@@ -252,11 +271,13 @@ def run_plan(config: SweepConfig, plan: FaultPlan) -> PlanResult:
         result.detail = "fault did not fire"
         if proc.error is not None:
             result.detail = f"did not fire; builder error: {proc.error!r}"
+            result.trace = recorder.to_jsonl()
             return result
         try:
             audit_index(system, system.indexes[INDEX_NAME])
         except Exception as exc:  # noqa: BLE001 - report, don't mask
             result.detail = f"did not fire; audit failed: {exc!r}"
+            result.trace = recorder.to_jsonl()
             return result
         result.passed = True
         return result
@@ -264,14 +285,17 @@ def run_plan(config: SweepConfig, plan: FaultPlan) -> PlanResult:
     result.fired_at = injector.fired.sim_time
     if not system.sim.crashed:
         result.detail = "fault fired but system did not crash"
+        result.trace = recorder.to_jsonl()
         return result
     try:
         failure = _recover_and_audit(config, system)
     except Exception as exc:  # noqa: BLE001 - report, don't mask
         result.detail = f"recovery raised: {exc!r}"
+        result.trace = recorder.to_jsonl()
         return result
     if failure:
         result.detail = failure
+        result.trace = recorder.to_jsonl()
         return result
     result.passed = True
     return result
@@ -308,9 +332,19 @@ def enumerate_plans(config: SweepConfig, discovered: dict) -> list:
 
 
 def run_sweep(config: SweepConfig,
-              progress=None) -> SweepReport:
-    """Discover, enumerate and run every plan; return the report."""
-    discovered = discover(config)
+              progress=None, trace_out=None) -> SweepReport:
+    """Discover, enumerate and run every plan; return the report.
+
+    ``trace_out``: optional path; the clean discovery run's JSONL trace
+    is written there (the sweep's reference timeline).
+    """
+    tracer = None
+    if trace_out is not None:
+        from repro.obs import TraceRecorder
+        tracer = TraceRecorder()
+    discovered = discover(config, tracer=tracer)
+    if tracer is not None:
+        tracer.write_jsonl(trace_out)
     plans = enumerate_plans(config, discovered)
     results = []
     for index, plan in enumerate(plans):
@@ -322,6 +356,13 @@ def run_sweep(config: SweepConfig,
                      f"{plan.describe():<40} {status}")
     return SweepReport(config=config, discovered=discovered,
                        results=results)
+
+
+def _plan_slug(plan: FaultPlan) -> str:
+    """Filesystem-safe name for one plan's trace file."""
+    raw = plan.describe()
+    return "".join(ch if ch.isalnum() or ch in "._-" else "-"
+                   for ch in raw)
 
 
 # -- CLI ----------------------------------------------------------------------
@@ -345,6 +386,11 @@ def main(argv: Optional[list] = None) -> int:
                         help="inject plain crashes only")
     parser.add_argument("--list-sites", action="store_true",
                         help="discover and list fault sites, then exit")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write the clean discovery run's JSONL trace "
+                             "(render with python -m repro.obs.report)")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="write one JSONL trace per FAILED plan here")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -367,7 +413,19 @@ def main(argv: Optional[list] = None) -> int:
         return 0
     progress = None if args.quiet else \
         lambda line: print(line, file=sys.stderr, flush=True)
-    report = run_sweep(config, progress=progress)
+    report = run_sweep(config, progress=progress,
+                       trace_out=args.trace_out)
+    if args.trace_dir is not None:
+        import os
+        os.makedirs(args.trace_dir, exist_ok=True)
+        for result in report.failures:
+            if result.trace is None:
+                continue
+            path = os.path.join(args.trace_dir,
+                                f"{_plan_slug(result.plan)}.jsonl")
+            with open(path, "w") as handle:
+                handle.write(result.trace)
+            print(f"trace written: {path}", file=sys.stderr)
     print(report.to_text())
     return 0 if report.all_passed else 1
 

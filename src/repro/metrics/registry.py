@@ -84,6 +84,11 @@ class MetricsRegistry:
     #: Installed fault injector, if any (see :mod:`repro.faultinject`).
     fault_injector: Optional[Any] = field(default=None, repr=False,
                                           compare=False)
+    #: Installed trace recorder, if any (see :mod:`repro.obs`).
+    #: Instrumented code tests this attribute and skips all trace work
+    #: when it is None -- the same zero-cost-disabled contract as
+    #: :attr:`fault_injector`.
+    tracer: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Increase counter ``name`` by ``amount`` (creating it at 0).
@@ -116,6 +121,17 @@ class MetricsRegistry:
     def snapshot(self) -> dict[str, int]:
         """Copy of all counters, e.g. for before/after deltas."""
         return dict(self.counters)
+
+    def snapshot_stats(self) -> dict[str, dict[str, float]]:
+        """Serialisable summaries of every value series, sorted by name.
+
+        :meth:`snapshot` covers counters only; series (quiesce times,
+        side-file lengths, per-shard scan times, ...) silently vanished
+        from reports built on it.  Benchmarks embed this alongside the
+        counter snapshot.
+        """
+        return {name: self.series[name].snapshot()
+                for name in sorted(self.series)}
 
     def delta(self, before: dict[str, int]) -> dict[str, int]:
         """Counter increases since ``before`` (a prior :meth:`snapshot`)."""

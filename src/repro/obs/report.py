@@ -1,0 +1,315 @@
+"""Build-report CLI: render a trace as an ASCII phase timeline.
+
+Usage::
+
+    python -m repro.obs.report TRACE.jsonl [--width N]
+
+Reads a JSONL trace written by :class:`repro.obs.TraceRecorder` and
+renders:
+
+* a **phase timeline** -- one Gantt-style bar per span (per-shard rows
+  for ``psf``), with spans cut short by a crash terminated by ``x``, and
+  a marks row locating instants (crash, restart, flag flip, checkpoints,
+  quiesce);
+* a **phase summary table** -- per span: start, end, duration, the WAL
+  bytes appended while it was open, and notable end attributes
+  (barrier wait, keys, drained entries);
+* **gauge high-water marks** -- per gauge series (side-file backlog,
+  ``read_watermark`` progress, buffer dirty count): sample count,
+  maximum and when it happened, final value;
+* an **instant census**.
+
+The module is also the import surface the perf suite and tests use:
+:func:`phase_durations` turns a raw event list into the per-phase
+breakdown recorded in the benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: instant name -> (mark character, priority); higher priority wins a column
+_MARKS = {
+    "system.crash": ("X", 6),
+    "system.restart": ("R", 5),
+    "sf.flip": ("F", 4),
+    "quiesce.begin": ("Q", 3),
+    "quiesce.end": ("q", 3),
+    "recovery.orphan_discard": ("o", 2),
+    "recovery.torn_tree": ("t", 2),
+    "wal.checkpoint": ("C", 1),
+}
+
+_MARK_LEGEND = ("X crash  R restart  F flip  Q/q quiesce  C checkpoint  "
+                "o orphan-discard  t torn-tree")
+
+
+@dataclass
+class Span:
+    """One reconstructed span (begin event plus optional end event)."""
+
+    span_id: int
+    name: str
+    start: float
+    epoch: int
+    seq: int
+    parent: Optional[int] = None
+    attrs: dict = field(default_factory=dict)
+    end: Optional[float] = None
+    end_attrs: dict = field(default_factory=dict)
+    #: True when the span never ended and a crash instant follows it
+    crashed: bool = False
+    depth: int = 0
+
+    @property
+    def label(self) -> str:
+        label = self.name
+        index = self.attrs.get("index")
+        if index is not None:
+            label += f":{index}"
+        shard = self.attrs.get("shard")
+        if shard is not None:
+            label += f"#{shard}"
+        return label
+
+    def duration(self, default_end: float) -> float:
+        end = self.end if self.end is not None else default_end
+        return max(0.0, end - self.start)
+
+
+# -- parsing ------------------------------------------------------------------
+
+
+def events_from_jsonl(text: str) -> list[dict]:
+    """Parse JSONL trace text; ``meta`` lines are dropped."""
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        event = json.loads(line)
+        if event.get("kind") == "meta":
+            continue
+        events.append(event)
+    return events
+
+
+def load_events(path: str) -> list[dict]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return events_from_jsonl(handle.read())
+
+
+def parse_spans(events: list[dict]) -> list[Span]:
+    """Rebuild the span forest; open spans are closed at the crash that
+    interrupted them (or at end of trace), flagged ``crashed``."""
+    spans: dict[int, Span] = {}
+    ordered: list[Span] = []
+    for event in events:
+        kind = event.get("kind")
+        if kind == "span_begin":
+            span = Span(span_id=event["span"], name=event["name"],
+                        start=event["t"], epoch=event.get("epoch", 0),
+                        seq=event.get("seq", 0),
+                        parent=event.get("parent"),
+                        attrs=dict(event.get("attrs") or {}))
+            spans[span.span_id] = span
+            ordered.append(span)
+        elif kind == "span_end":
+            span = spans.get(event.get("span"))
+            if span is not None:
+                span.end = event["t"]
+                span.end_attrs = dict(event.get("attrs") or {})
+    last_t = max((event["t"] for event in events), default=0.0)
+    crashes = sorted(event["t"] for event in events
+                     if event.get("kind") == "instant"
+                     and event.get("name") == "system.crash")
+    for span in ordered:
+        if span.end is None:
+            cut = next((t for t in crashes if t >= span.start), None)
+            if cut is not None:
+                span.end = cut
+                span.crashed = True
+            else:
+                span.end = last_t
+        depth = 0
+        parent = span.parent
+        while parent is not None and depth < 16:
+            depth += 1
+            parent = spans[parent].parent if parent in spans else None
+        span.depth = depth
+    return ordered
+
+
+def phase_durations(events: list[dict]) -> dict[str, float]:
+    """Per-phase simulated durations (summed over same-label spans).
+
+    Only the build root and its direct children count as phases; deeper
+    spans (per-shard rows) stay out so the breakdown's parts relate to
+    the whole.  Used by the perf suite's trace-derived breakdowns.
+    """
+    durations: dict[str, float] = {}
+    last_t = max((event["t"] for event in events), default=0.0)
+    for span in parse_spans(events):
+        if span.depth > 1:
+            continue
+        durations[span.label] = durations.get(span.label, 0.0) \
+            + span.duration(last_t)
+    return durations
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def _bar(start: float, end: float, t0: float, t1: float, width: int,
+         crashed: bool) -> str:
+    window = (t1 - t0) or 1.0
+    c0 = int((start - t0) / window * (width - 1))
+    c1 = int((end - t0) / window * (width - 1))
+    c0 = min(max(c0, 0), width - 1)
+    c1 = min(max(c1, c0), width - 1)
+    cells = [" "] * width
+    for col in range(c0, c1 + 1):
+        cells[col] = "="
+    if crashed:
+        cells[c1] = "x"
+    return "".join(cells)
+
+
+def _marks_row(events: list[dict], t0: float, t1: float,
+               width: int) -> str:
+    window = (t1 - t0) or 1.0
+    cells = [" "] * width
+    best = [0] * width
+    for event in events:
+        if event.get("kind") != "instant":
+            continue
+        mark = _MARKS.get(event.get("name"))
+        if mark is None:
+            continue
+        char, priority = mark
+        col = int((event["t"] - t0) / window * (width - 1))
+        col = min(max(col, 0), width - 1)
+        if priority > best[col]:
+            best[col] = priority
+            cells[col] = char
+    return "".join(cells)
+
+
+def _notes(span: Span) -> str:
+    parts = []
+    for key in ("barrier_wait", "keys", "pages", "drained", "waited",
+                "held", "workers"):
+        value = span.end_attrs.get(key, span.attrs.get(key))
+        if value is None:
+            continue
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.1f}")
+        else:
+            parts.append(f"{key}={value}")
+    if span.crashed:
+        parts.append("cut-by-crash")
+    return " ".join(parts)
+
+
+def render_report(events: list[dict], width: int = 60) -> str:
+    """The full text report for one trace."""
+    if not events:
+        return "empty trace\n"
+    spans = parse_spans(events)
+    t0 = min(event["t"] for event in events)
+    t1 = max(event["t"] for event in events)
+    instants = [e for e in events if e.get("kind") == "instant"]
+    gauges = [e for e in events if e.get("kind") == "gauge"]
+    epochs = max(event.get("epoch", 0) for event in events) + 1
+    cut = sum(1 for span in spans if span.crashed)
+
+    lines = [
+        f"trace report: {len(events)} events, {epochs} epoch(s), "
+        f"t={t0:.1f}..{t1:.1f}",
+        f"spans: {len(spans)} ({cut} cut short by a crash), "
+        f"instants: {len(instants)}, gauge samples: {len(gauges)}",
+        "",
+        "phase timeline ('=' span, 'x' crash-cut)",
+    ]
+    label_width = max([len("  " * s.depth + s.label) for s in spans] + [5])
+    label_width = min(label_width, 28)
+    for span in spans:
+        label = ("  " * span.depth + span.label)[:label_width]
+        bar = _bar(span.start, span.end, t0, t1, width, span.crashed)
+        lines.append(f"{label:<{label_width}} |{bar}|")
+    marks = _marks_row(events, t0, t1, width)
+    if marks.strip():
+        lines.append(f"{'marks':<{label_width}} |{marks}|")
+        lines.append(f"{'':<{label_width}}  {_MARK_LEGEND}")
+
+    lines.append("")
+    lines.append("phase summary")
+    header = (f"{'phase':<{label_width}} {'start':>9} {'end':>9} "
+              f"{'duration':>9} {'wal_bytes':>9}  notes")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for span in spans:
+        label = ("  " * span.depth + span.label)[:label_width]
+        wal = span.end_attrs.get("wal_bytes")
+        wal_text = str(wal) if wal is not None else "-"
+        end_text = f"{span.end:>9.1f}" if not span.crashed \
+            else f"{'CRASH':>9}"
+        lines.append(f"{label:<{label_width}} {span.start:>9.1f} "
+                     f"{end_text} {span.duration(t1):>9.1f} "
+                     f"{wal_text:>9}  {_notes(span)}")
+
+    if gauges:
+        lines.append("")
+        lines.append("gauge high-water marks")
+        series: dict[tuple, list[dict]] = {}
+        for event in gauges:
+            key = (event["name"], (event.get("attrs") or {}).get("index"))
+            series.setdefault(key, []).append(event)
+        for (name, index) in sorted(series,
+                                    key=lambda k: (k[0], str(k[1]))):
+            samples = series[(name, index)]
+            peak = max(samples, key=lambda e: (e.get("value", 0), -e["t"]))
+            label = name if index is None else f"{name}[{index}]"
+            lines.append(
+                f"  {label:<28} samples={len(samples):<4} "
+                f"max={peak.get('value')} at t={peak['t']:.1f}  "
+                f"last={samples[-1].get('value')}")
+
+    if instants:
+        lines.append("")
+        lines.append("instants")
+        census: dict[str, int] = {}
+        for event in instants:
+            census[event["name"]] = census.get(event["name"], 0) + 1
+        for name in sorted(census):
+            times = [e["t"] for e in instants if e["name"] == name]
+            where = ", ".join(f"{t:.1f}" for t in times[:4])
+            if len(times) > 4:
+                where += ", ..."
+            lines.append(f"  {name:<28} x{census[name]:<4} at t={where}")
+    return "\n".join(lines) + "\n"
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render an ASCII phase timeline + summary tables "
+                    "from a TraceRecorder JSONL file.")
+    parser.add_argument("trace", help="JSONL trace file")
+    parser.add_argument("--width", type=int, default=60,
+                        help="timeline width in columns (default 60)")
+    args = parser.parse_args(argv)
+    events = load_events(args.trace)
+    sys.stdout.write(render_report(events, width=args.width))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

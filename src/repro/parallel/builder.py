@@ -89,6 +89,10 @@ class ParallelSFBuilder(SFIndexBuilder):
     def run(self):
         """Generator process body (the coordinator)."""
         self._mark("start")
+        self._trace_begin("build", mode=self.mode, table=self.table.name,
+                          indexes=[s.name for s in self.specs],
+                          partitions=self.partitions,
+                          resumed=self._resume_state is not None)
         if self._resume_state is None:
             self._descriptor_phase()
             phase = "pscan"
@@ -123,6 +127,7 @@ class ParallelSFBuilder(SFIndexBuilder):
         self._remove_context()
         self._write_utility_checkpoint({"phase": "done"})
         self._mark("done")
+        self._trace_end("build")
         return self.descriptors
 
     # -- phase 1: descriptor + frontier without quiesce ---------------------
@@ -165,6 +170,7 @@ class ParallelSFBuilder(SFIndexBuilder):
             return
         barrier = Barrier(sim, parties=len(pending) + 1)
         group = ProcessGroup(sim, name="psf-scan")
+        self._trace_begin("scan", workers=len(pending))
         for shard in pending:
             group.spawn(self._shard_worker(shard, barrier),
                         name=f"psf-worker-{shard}")
@@ -172,10 +178,13 @@ class ParallelSFBuilder(SFIndexBuilder):
         yield from barrier.wait()
         fault_point(self.system.metrics, "psf.barrier")
         yield from group.join_all()
+        self._trace_end("scan")
 
     def _shard_worker(self, shard: int, barrier: Barrier):
         """One shard's process: scan -> seal runs -> checkpoint -> barrier."""
         started = self.system.sim.now
+        self._trace_begin("shard-scan", key=f"shard-scan:{shard}",
+                          parent=self._trace_span_id("scan"), shard=shard)
         yield from self._shard_scan(shard)
         state = self._shard_states[shard]
         sorters = self._shard_sorters[shard]
@@ -195,7 +204,13 @@ class ParallelSFBuilder(SFIndexBuilder):
                         self.system.sim.now - started)
         fault_point(metrics, "psf.worker_done")
         self._checkpoint_shards()
+        arrived = self.system.sim.now
         yield from barrier.wait()
+        # The gap between arriving at the rendezvous and the barrier
+        # releasing is pure skew: straggler shards show up as near-zero
+        # barrier_wait, early finishers as large ones.
+        self._trace_end(f"shard-scan:{shard}",
+                        barrier_wait=self.system.sim.now - arrived)
 
     def _shard_scan(self, shard: int):
         """The per-shard copy of the paper's scan loop (section 3.2.2):
@@ -302,10 +317,12 @@ class ParallelSFBuilder(SFIndexBuilder):
         shards = sorted(self._shard_states)
         per_shard = max(1, self.merge_fanin // max(1, len(shards)))
         group = ProcessGroup(sim, name="psf-merge")
+        self._trace_begin("merge", workers=len(shards))
         for shard in shards:
             group.spawn(self._shard_merge_worker(shard, per_shard),
                         name=f"psf-merge-{shard}")
         yield from group.join_all()
+        self._trace_end("merge")
         fault_point(self.system.metrics, "psf.merge_done")
         mergers = {}
         for descriptor in self.descriptors:
@@ -322,6 +339,8 @@ class ParallelSFBuilder(SFIndexBuilder):
         """One shard's merge process: reduce its runs per index down to
         ``target`` with simulated-cost, crash-safe passes."""
         state = self._shard_states[shard]
+        self._trace_begin("shard-merge", key=f"shard-merge:{shard}",
+                          parent=self._trace_span_id("merge"), shard=shard)
         for descriptor in self.descriptors:
             store = self._store_for(descriptor)
             runs = [store.get(name)
@@ -330,6 +349,7 @@ class ParallelSFBuilder(SFIndexBuilder):
                 self.system, store, runs, self.merge_fanin, target,
                 shard=shard)
             state["runs"][descriptor.name] = [run.name for run in merged]
+        self._trace_end(f"shard-merge:{shard}")
         fault_point(self.system.metrics, "psf.merge_shard_done")
 
     # -- restart ------------------------------------------------------------

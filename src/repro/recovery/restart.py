@@ -46,6 +46,16 @@ def restart(crashed: System, config: Optional[SystemConfig] = None,
     crashed.crash()  # idempotent: ensures volatile state is gone
     system = System(config or crashed.config,
                     disk=crashed.disk, log=crashed.log)
+    # Carry the trace recorder across the crash boundary: one trace tells
+    # the whole build-crash-recover story.  Re-binding advances the
+    # recorder's time base so the new simulator's t=0 lands at the crash
+    # instant (see repro.obs.recorder.TraceRecorder.bind).
+    tracer = getattr(crashed.metrics, "tracer", None)
+    if tracer is not None:
+        tracer.bind(system.sim)
+        system.metrics.tracer = tracer
+        tracer.instant("system.restart",
+                       stable_lsn=crashed.log.flushed_lsn)
     _rebuild_catalog(crashed, system)
 
     checkpoint = system.log.latest_checkpoint()
@@ -131,6 +141,9 @@ def _discard_orphan_builds(system: System, utility_state: dict) -> None:
         system.sidefiles.pop(name, None)
         system.run_stores.pop(f"sort:{name}", None)
         system.metrics.incr("recovery.orphan_builds_discarded")
+        if system.metrics.tracer is not None:
+            system.metrics.tracer.instant("recovery.orphan_discard",
+                                          index=name)
 
 
 def _plan_damaged_trees(system: System, utility_state: dict,
@@ -154,11 +167,16 @@ def _plan_damaged_trees(system: System, utility_state: dict,
         if name in sf_indexes:
             tree.durable_lsn = float("inf")  # nothing to redo into it
             system.metrics.incr("recovery.torn_trees.sf")
+            strategy = "sf-reextract"
         else:
             tree.media_damaged = False
             tree.durable_lsn = 0
             redo_start = 1
             system.metrics.incr("recovery.torn_trees.replayed")
+            strategy = "log-replay"
+        if system.metrics.tracer is not None:
+            system.metrics.tracer.instant("recovery.torn_tree",
+                                          index=name, strategy=strategy)
     return redo_start
 
 

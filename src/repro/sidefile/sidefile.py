@@ -58,6 +58,10 @@ class SideFile:
         self.index_name = index_name
         self.entries: list[SideFileEntry] = []
         self.durable_length = 0
+        #: how far the drain (section 3.2.5) has applied entries; kept by
+        #: the drainer so observers (trace gauges) can read the backlog
+        #: ``len(entries) - drain_position`` without touching the builder
+        self.drain_position = 0
         #: LSNs of every present entry; keeps :meth:`redo_append`'s
         #: already-present test O(1) (the linear scan made restart redo
         #: quadratic in side-file length)

@@ -225,6 +225,8 @@ class Simulator:
         #: set, it is consulted before every dispatch of a watched process
         #: so a crash can land on any scheduler step.
         self.fault_injector: Optional[Any] = None
+        #: every process ever spawned, in pid order (for :meth:`processes`)
+        self._processes: list[Process] = []
 
     # -- spawning -------------------------------------------------------
 
@@ -234,8 +236,30 @@ class Simulator:
         proc = Process(name, body, self._pid)
         proc.started_at = self.now
         self.live_processes += 1
+        self._processes.append(proc)
         self._schedule(proc, delay=0.0, value=None)
         return proc
+
+    def processes(self) -> list[dict]:
+        """Per-process lifetime summary, in spawn (pid) order.
+
+        ``busy_time`` is spawn-to-finish simulated time -- a process
+        blocked on a latch or event is still "busy" from the scheduler's
+        point of view; a still-live process is charged up to :attr:`now`
+        with ``finished_at`` left None.
+        """
+        rows = []
+        for proc in self._processes:
+            end = proc.finished_at if proc.finished else self.now
+            rows.append({
+                "pid": proc.pid,
+                "name": proc.name,
+                "finished": proc.finished,
+                "started_at": proc.started_at,
+                "finished_at": proc.finished_at if proc.finished else None,
+                "busy_time": end - proc.started_at,
+            })
+        return rows
 
     def event(self) -> SimEvent:
         """Create a new unset :class:`SimEvent`."""

@@ -157,6 +157,9 @@ class BufferPool:
 
     def flush_all(self):
         """Write every dirty page (used by SF's index checkpoint, §3.2.4)."""
+        tracer = getattr(self.metrics, "tracer", None)
+        if tracer is not None:
+            tracer.gauge("buffer.dirty", len(self.dirty))
         for page_id in list(self.dirty):
             yield from self.flush_page(page_id)
 

@@ -61,6 +61,13 @@ class SystemConfig:
     bulk_load_key_cost: float = 0.05
     #: simulated time charged per B+-tree page visited during a traversal
     tree_visit_cost: float = 0.1
+    #: simulated time per page visited by an IB side-file drain descent.
+    #: Defaults to 0 (descents ride the key_op_cost charge), keeping the
+    #: baseline calibration where drain batching is purely a wall-clock
+    #: optimization; set to ``tree_visit_cost`` to charge drain descents
+    #: like query descents, the regime EXPERIMENTS.md E19 measures (the
+    #: catch-up window then shrinks as ``drain_batch`` amortizes them).
+    drain_visit_cost: float = 0.0
     #: pages fetched per sequential prefetch I/O during IB's scan (§2.2.2)
     prefetch_pages: int = 8
     #: keys per multi-key insert call NSF's IB passes to the index manager
@@ -110,6 +117,9 @@ class System:
         #: components with volatile state beyond the standard set register
         #: a callable here; :meth:`crash` invokes each one
         self.crash_hooks: list = []
+        #: crash() is deliberately idempotent (restart() calls it again);
+        #: the trace instant must still be recorded exactly once
+        self._crash_traced = False
 
     # -- catalog -------------------------------------------------------------
 
@@ -142,6 +152,13 @@ class System:
         index trees not yet persisted) is lost.  Returns the surviving
         stable state ``(disk, log)`` for :func:`repro.recovery.restart.restart`.
         """
+        tracer = self.metrics.tracer
+        if tracer is not None and not self._crash_traced:
+            self._crash_traced = True
+            tracer.instant("system.crash",
+                           flushed_lsn=self.log.flushed_lsn,
+                           lost_records=len(self.log.records)
+                           - self.log.flushed_lsn)
         self.buffer.crash()
         self.log.crash()
         for descriptor in self.indexes.values():

@@ -138,6 +138,10 @@ class LogManager:
         # from the *old* checkpoint and ignore the new one.
         fault_point(self.metrics, "wal.checkpoint.before_master")
         self.master_checkpoint_lsn = record.lsn
+        tracer = getattr(self.metrics, "tracer", None)
+        if tracer is not None:
+            tracer.instant("wal.checkpoint", lsn=record.lsn,
+                           phase=(utility_state or {}).get("phase"))
         return record
 
     def latest_checkpoint(self) -> Optional[LogRecord]:

@@ -78,3 +78,25 @@ def test_registry_fault_injector_attachment_point():
     sentinel = object()
     metrics.fault_injector = sentinel
     assert metrics.fault_injector is sentinel
+
+
+def test_registry_tracer_attachment_point():
+    metrics = MetricsRegistry()
+    assert metrics.tracer is None
+    sentinel = object()
+    metrics.tracer = sentinel
+    assert metrics.tracer is sentinel
+
+
+def test_snapshot_stats_serialises_every_series_sorted():
+    metrics = MetricsRegistry()
+    metrics.observe("b.series", 2.0)
+    metrics.observe("b.series", 4.0)
+    metrics.observe("a.series", 7.0)
+    stats = metrics.snapshot_stats()
+    assert list(stats) == ["a.series", "b.series"]
+    assert stats["b.series"] == {"count": 2, "total": 6.0, "mean": 3.0,
+                                 "minimum": 2.0, "maximum": 4.0}
+    assert stats["a.series"]["count"] == 1
+    # empty registry -> empty dict, and the result is plain-JSON safe
+    assert MetricsRegistry().snapshot_stats() == {}

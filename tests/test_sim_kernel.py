@@ -394,3 +394,52 @@ def test_process_group_names_members():
     assert auto.name == "merge-0"
     assert named.name == "merge-custom"
     assert len(group) == 2
+
+
+def test_processes_summary_reports_busy_time():
+    """``Simulator.processes()`` summarises every spawned process: name,
+    lifecycle flags, and busy time (finish - start, or now for live)."""
+    def worker(duration):
+        yield Delay(duration)
+
+    def lingerer():
+        while True:
+            yield Delay(100)
+
+    sim = Simulator()
+    sim.spawn(worker(5), name="short")
+    sim.spawn(worker(12), name="long")
+    sim.run(until=12)
+    rows = {row["name"]: row for row in sim.processes()}
+    assert set(rows) == {"short", "long"}
+    assert rows["short"]["finished"] is True
+    assert rows["short"]["busy_time"] == 5
+    assert rows["short"]["finished_at"] == 5
+    assert rows["long"]["finished"] is True
+    assert rows["long"]["busy_time"] == 12
+
+    sim2 = Simulator()
+    sim2.spawn(lingerer(), name="live")
+    sim2.run(until=30)
+    (row,) = sim2.processes()
+    assert row["finished"] is False
+    assert row["finished_at"] is None
+    assert row["busy_time"] == sim2.now  # still running: charged to now
+
+
+def test_processes_summary_staggered_start():
+    """A process spawned mid-run is charged from its spawn time."""
+    def late():
+        yield Delay(4)
+
+    def spawner(sim):
+        yield Delay(10)
+        sim.spawn(late(), name="late")
+
+    sim = Simulator()
+    sim.spawn(spawner(sim), name="spawner")
+    sim.run()
+    rows = {row["name"]: row for row in sim.processes()}
+    assert rows["late"]["started_at"] == 10
+    assert rows["late"]["finished_at"] == 14
+    assert rows["late"]["busy_time"] == 4
