@@ -10,7 +10,8 @@ fixed set of deterministic scenarios:
   simulated build time, and the key metric counters;
 * micro-benchmarks for the known hot paths: IB's multi-key insert,
   replacement-selection run formation, the final-merge ``pop_many``
-  supply loop, the SF side-file drain, and side-file WAL redo.
+  supply loop, the SF side-file drain, side-file WAL redo, and the
+  frontier's ``shard_of`` ownership test (bisect vs linear scan).
 
 The IB-insert micro-benchmark runs twice -- once against
 :class:`LegacyBTree`, a verbatim copy of the pre-optimization hot paths,
@@ -403,6 +404,62 @@ def micro_sidefile_redo(mode: str) -> dict:
             "keys_per_second": (2 * count) / wall if wall else 0.0}
 
 
+def micro_frontier_shard_of(mode: str) -> dict:
+    """Frontier ownership test: bisect ``shard_of`` vs the pre-PR linear
+    scan.
+
+    ``shard_of`` runs on every visibility test a concurrent updater
+    performs during a partitioned build, so its cost scales with P under
+    the linear scan.  Both sides run over the same lookup stream in the
+    same process and must agree exactly (including empty shards and
+    pages past the partitioned range), so the recorded speedup is a pure
+    code-path ratio like the IB-insert micro's.
+    """
+    from repro.sidefile.frontier import ScanFrontier, partition_pages
+
+    lookups = 20_000 if mode == "smoke" else 200_000
+    params = {"lookups": lookups, "shards": 64, "pages": 4096, "seed": 23}
+    partitions = partition_pages(params["pages"], params["shards"])
+    frontier = ScanFrontier(partitions)
+    rng = random.Random(params["seed"])
+    # Past-the-range pages included: extensions go to the last shard.
+    pages = [rng.randrange(params["pages"] + 128) for _ in range(lookups)]
+    heads = partitions[:-1]
+
+    def linear_shard_of(page_no: int) -> int:
+        # Verbatim pre-optimization body: first shard whose range covers
+        # the page; extensions fall through to the last shard.
+        for partition in heads:
+            if page_no < partition.end:
+                return partition.index
+        return partitions[-1].index
+
+    started = time.perf_counter()
+    expect = [linear_shard_of(page_no) for page_no in pages]
+    baseline_wall = time.perf_counter() - started
+    shard_of = frontier.shard_of
+    started = time.perf_counter()
+    got = [shard_of(page_no) for page_no in pages]
+    optimized_wall = time.perf_counter() - started
+    if got != expect:
+        first = next(i for i in range(lookups) if got[i] != expect[i])
+        raise AssertionError(
+            f"shard_of diverged from the linear reference at page "
+            f"{pages[first]}: {got[first]} != {expect[first]}")
+    return {"params": params,
+            "wall_seconds": optimized_wall,
+            "baseline": {"wall_seconds": baseline_wall,
+                         "lookups_per_second":
+                             lookups / baseline_wall if baseline_wall
+                             else 0.0},
+            "optimized": {"wall_seconds": optimized_wall,
+                          "lookups_per_second":
+                              lookups / optimized_wall if optimized_wall
+                              else 0.0},
+            "speedup": (baseline_wall / optimized_wall
+                        if optimized_wall else 0.0)}
+
+
 # ---------------------------------------------------------------------------
 # build scenarios
 # ---------------------------------------------------------------------------
@@ -587,6 +644,7 @@ MICROS: list[tuple[str, Callable[[str], dict]]] = [
     ("micro/merge_pop_many", micro_merge_pop_many),
     ("micro/sidefile_drain", micro_sidefile_drain),
     ("micro/sidefile_redo", micro_sidefile_redo),
+    ("micro/frontier_shard_of", micro_frontier_shard_of),
 ]
 
 
@@ -636,7 +694,7 @@ def _run_one(name: str, kind: str, thunk: Callable[[], dict],
         scenario["error"] = f"{type(exc).__name__}: {exc}"
         echo(f"  FAIL {name}: {scenario['error']}")
         return scenario
-    if name == "micro/ib_insert_batch":
+    if name in ("micro/ib_insert_batch", "micro/frontier_shard_of"):
         echo(f"  ok   {name}: speedup {scenario['speedup']:.2f}x "
              f"({scenario['baseline']['wall_seconds']:.3f}s -> "
              f"{scenario['optimized']['wall_seconds']:.3f}s)")

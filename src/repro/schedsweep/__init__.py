@@ -1,0 +1,52 @@
+"""Schedule-exploration sweep: adversarial interleavings of the build.
+
+The crash sweep (:mod:`repro.faultinject`) proves the algorithms recover
+from a failure at every instant; this package proves they are *correct
+under every interleaving* the kernel could legally produce -- the claim
+sections 1.2, 2.1, and 3.1 of the paper actually make.  Seeded
+:class:`~repro.schedsweep.policy.RandomTiePolicy` objects perturb the
+kernel's same-timestamp ready-queue ties and inject bounded preemptions
+at yield points; every choice is recorded as a compact choice-string
+(:mod:`repro.schedsweep.recorder`) so a failing schedule replays
+deterministically (:class:`~repro.schedsweep.policy.ReplayPolicy`) and
+shrinks with the generic shrinker from :mod:`repro.faultinject.shrink`.
+
+Entry point: ``python -m repro.schedsweep`` (see
+:mod:`repro.schedsweep.sweep`).
+"""
+
+from repro.schedsweep.oracle import check_run
+from repro.schedsweep.policy import (
+    FifoPolicy,
+    RandomTiePolicy,
+    ReplayMismatch,
+    ReplayPolicy,
+    SchedulePolicy,
+)
+from repro.schedsweep.recorder import (
+    ChoiceRecorder,
+    parse_choice_string,
+)
+from repro.schedsweep.sweep import (
+    ScheduleConfig,
+    SchedulePlan,
+    ScheduleResult,
+    run_plan,
+    run_sweep,
+)
+
+__all__ = [
+    "ChoiceRecorder",
+    "FifoPolicy",
+    "RandomTiePolicy",
+    "ReplayMismatch",
+    "ReplayPolicy",
+    "ScheduleConfig",
+    "SchedulePlan",
+    "ScheduleResult",
+    "SchedulePolicy",
+    "check_run",
+    "parse_choice_string",
+    "run_plan",
+    "run_sweep",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.schedsweep`` entry point."""
+
+import sys
+
+from repro.schedsweep.sweep import main
+
+sys.exit(main())

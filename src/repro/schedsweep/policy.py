@@ -1,0 +1,118 @@
+"""Schedule policies: the objects plugged into ``Simulator.schedule_policy``.
+
+The kernel contract (see :mod:`repro.sim.kernel`)::
+
+    choose(time, procs, can_defer) -> int
+
+``procs`` are the processes runnable at the current instant, FIFO
+order; index 0 is the historical choice, a positive index dispatches a
+different tie candidate, and a negative return (honoured only when
+``can_defer``) preempts the FIFO head to the next occupied instant.
+
+All policies here perturb *only* same-timestamp ties and bounded
+preemptions, so every schedule they produce is one a legal scheduler
+could have produced -- no new timestamps, no starved processes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ReproError
+from repro.schedsweep.recorder import ChoiceRecorder, PREEMPT, \
+    parse_choice_string
+
+
+class ReplayMismatch(ReproError):
+    """A recorded choice no longer applies at its consult.
+
+    Raised when a replayed run diverges from the recording run -- a
+    recorded tie index exceeding the candidate count, or a preemption
+    where deferral is impossible.  Since the kernel is deterministic
+    given the choices, this always indicates nondeterminism *outside*
+    the kernel (e.g. iteration over an unordered container) and is
+    itself a reportable bug.
+    """
+
+
+class SchedulePolicy:
+    """Base policy: always the FIFO head, never a preemption.
+
+    Installing this must leave every schedule byte-identical to running
+    with no policy at all (the golden-output guarantee).
+    """
+
+    def choose(self, time: float, procs: list, can_defer: bool) -> int:
+        return 0
+
+
+#: readable alias for the explicit default
+FifoPolicy = SchedulePolicy
+
+
+class RandomTiePolicy(SchedulePolicy):
+    """Seeded perturbation: random tie picks + bounded preemptions.
+
+    ``preempt_prob`` is evaluated on every consult where deferral is
+    possible, up to ``max_preemptions`` times per run (the bound the
+    kernel contract demands for progress).  Every decision is recorded
+    on :attr:`recorder`, so a failing run's
+    ``recorder.choice_string()`` is a complete reproduction recipe for
+    :class:`ReplayPolicy`.
+    """
+
+    def __init__(self, seed: int, preempt_prob: float = 0.1,
+                 max_preemptions: int = 16) -> None:
+        self.seed = seed
+        self.preempt_prob = preempt_prob
+        self.max_preemptions = max_preemptions
+        self.rng = random.Random(seed)
+        self.recorder = ChoiceRecorder()
+
+    def choose(self, time: float, procs: list, can_defer: bool) -> int:
+        step = self.recorder.note_consult()
+        if (can_defer
+                and self.recorder.preemptions < self.max_preemptions
+                and self.rng.random() < self.preempt_prob):
+            self.recorder.record_preempt(step)
+            return PREEMPT
+        if len(procs) > 1:
+            index = self.rng.randrange(len(procs))
+            self.recorder.record_tie(step, index)
+            return index
+        return 0
+
+
+class ReplayPolicy(SchedulePolicy):
+    """Replay a recorded choice-string, consult by consult.
+
+    Consults not named in the string take the FIFO default, exactly as
+    during recording.  The policy re-records onto its own
+    :attr:`recorder`; after a faithful replay,
+    ``recorder.choice_string()`` equals the input string -- a cheap
+    end-to-end determinism check callers can assert.
+    """
+
+    def __init__(self, choices: str) -> None:
+        self.choices = choices
+        self.actions = parse_choice_string(choices)
+        self.recorder = ChoiceRecorder()
+
+    def choose(self, time: float, procs: list, can_defer: bool) -> int:
+        step = self.recorder.note_consult()
+        action = self.actions.get(step)
+        if action is None:
+            return 0
+        if action == PREEMPT:
+            if not can_defer:
+                raise ReplayMismatch(
+                    f"consult {step}: recorded preemption but deferral "
+                    "is impossible in the replay")
+            self.recorder.record_preempt(step)
+            return PREEMPT
+        if action >= len(procs):
+            raise ReplayMismatch(
+                f"consult {step}: recorded tie index {action} but the "
+                f"replay offers only {len(procs)} candidates")
+        self.recorder.record_tie(step, action)
+        return action

@@ -1,0 +1,115 @@
+"""Choice-strings: a compact, replayable record of scheduling decisions.
+
+The kernel consults the installed policy once per dispatch (see the
+schedule-exploration section of :mod:`repro.sim.kernel`).  Consults are
+numbered from 1; because the kernel is deterministic *given* the
+choices, the consult sequence itself is a pure function of the choice
+history, so recording only the *non-default* choices by consult number
+is enough to reproduce the whole schedule:
+
+* ``<step>:<index>`` -- at consult ``step``, tie candidate ``index``
+  (> 0) was dispatched instead of the FIFO head;
+* ``<step>!`` -- at consult ``step``, the FIFO head was preempted.
+
+Numbers are base-36 (digits then lowercase letters; the separators
+``:`` ``!`` ``.`` are deliberately outside that alphabet) and tokens
+are joined with ``"."``.  The empty string is the pure-FIFO schedule.
+Example: ``"4:1.a!.12:3"`` -- consult 4 picked candidate 1, consult 10
+preempted, consult 38 picked candidate 3.
+"""
+
+from __future__ import annotations
+
+_DIGITS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+#: parse_choice_string value meaning "preempt the FIFO head"
+PREEMPT = -1
+
+
+def to_base36(value: int) -> str:
+    """Non-negative int -> base-36 string."""
+    if value < 0:
+        raise ValueError(f"negative value {value}")
+    if value == 0:
+        return "0"
+    out = []
+    while value:
+        value, digit = divmod(value, 36)
+        out.append(_DIGITS[digit])
+    return "".join(reversed(out))
+
+
+def from_base36(text: str) -> int:
+    """Base-36 string -> int (strict: lowercase alphanumerics only)."""
+    if not text or any(ch not in _DIGITS for ch in text):
+        raise ValueError(f"bad base-36 literal {text!r}")
+    return int(text, 36)
+
+
+class ChoiceRecorder:
+    """Accumulates one run's scheduling choices.
+
+    Policies call :meth:`note_consult` on every ``choose`` invocation
+    (whether or not they perturb) so consult numbering stays aligned
+    between the recording run and a replay, then :meth:`record_tie` /
+    :meth:`record_preempt` for non-default choices only.
+    """
+
+    __slots__ = ("consults", "ties_perturbed", "preemptions", "_tokens")
+
+    def __init__(self) -> None:
+        self.consults = 0
+        self.ties_perturbed = 0
+        self.preemptions = 0
+        self._tokens: list[str] = []
+
+    def note_consult(self) -> int:
+        """Count one ``choose`` call; returns its 1-based consult number."""
+        self.consults += 1
+        return self.consults
+
+    def record_tie(self, step: int, index: int) -> None:
+        """Record a non-FIFO tie pick (``index > 0``) at ``step``."""
+        if index <= 0:
+            return  # index 0 is the FIFO default; nothing to record
+        self.ties_perturbed += 1
+        self._tokens.append(f"{to_base36(step)}:{to_base36(index)}")
+
+    def record_preempt(self, step: int) -> None:
+        """Record a FIFO-head preemption at ``step``."""
+        self.preemptions += 1
+        self._tokens.append(f"{to_base36(step)}!")
+
+    def choice_string(self) -> str:
+        return ".".join(self._tokens)
+
+
+def parse_choice_string(choices: str) -> dict[int, int]:
+    """Choice-string -> ``{consult number: action}``.
+
+    The action is :data:`PREEMPT` for a preemption token, else the tie
+    candidate index.  Raises ``ValueError`` on malformed input
+    (including out-of-order or duplicate consult numbers, which a real
+    recording can never produce).
+    """
+    actions: dict[int, int] = {}
+    if not choices:
+        return actions
+    last_step = 0
+    for token in choices.split("."):
+        if token.endswith("!"):
+            step, action = from_base36(token[:-1]), PREEMPT
+        elif ":" in token:
+            step_text, _sep, index_text = token.partition(":")
+            step = from_base36(step_text)
+            action = from_base36(index_text)
+            if action <= 0:
+                raise ValueError(f"tie token {token!r} picks the FIFO "
+                                 "default; it would never be recorded")
+        else:
+            raise ValueError(f"bad choice token {token!r}")
+        if step <= last_step:
+            raise ValueError(f"choice token {token!r} out of order")
+        last_step = step
+        actions[step] = action
+    return actions

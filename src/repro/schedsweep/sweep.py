@@ -1,0 +1,440 @@
+"""Schedule-sweep driver: explore N seeded interleavings per builder.
+
+Mirrors the crash sweep's shape (:mod:`repro.faultinject.sweep`):
+
+1. **Baseline** -- run each builder once with the explicit FIFO policy
+   and prove the oracle passes (a broken baseline is reported as such,
+   not as a wall of schedule failures).
+2. **Explore** -- run N schedules per builder, each under a seeded
+   :class:`~repro.schedsweep.policy.RandomTiePolicy` that perturbs
+   same-timestamp ties and injects bounded preemptions.
+3. **Prove** -- after every run, apply the full oracle
+   (:func:`repro.schedsweep.oracle.check_run`): structural audit,
+   index/table audit, serial-reference equivalence, metrics sanity,
+   hang detection.
+4. **Shrink + replay** -- a failing schedule is shrunk with the generic
+   shrinker from :mod:`repro.faultinject.shrink` (same greedy halving,
+   schedule runner instead of fault runner) and reported with its
+   choice-string, which replays the exact schedule via ``--replay``.
+
+CLI::
+
+    python -m repro.schedsweep --schedules 50            # all builders
+    python -m repro.schedsweep --builder psf --partitions 3
+    python -m repro.schedsweep --builder sf --schedule-seed 123 \
+        --replay '4:1.a!' --records 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core import BuildOptions, IndexSpec, get_builder
+from repro.faultinject.shrink import shrink_failure
+from repro.schedsweep.oracle import check_run
+from repro.schedsweep.policy import (
+    FifoPolicy,
+    RandomTiePolicy,
+    ReplayMismatch,
+    ReplayPolicy,
+)
+from repro.system import System, SystemConfig
+from repro.workloads import WorkloadDriver, WorkloadSpec
+
+INDEX_NAME = "idx"
+
+#: builder rows the default sweep explores; psf runs at P in {1, 2, 3}
+#: (the paper's interleaving arguments must hold per shard count)
+DEFAULT_ROWS: tuple[tuple[str, int], ...] = (
+    ("offline", 1), ("nsf", 1), ("sf", 1),
+    ("psf", 1), ("psf", 2), ("psf", 3),
+)
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """One schedule run's fully deterministic build recipe.
+
+    Field names ``records``/``operations``/``workers`` deliberately
+    match :class:`repro.faultinject.sweep.SweepConfig` so the generic
+    shrinker's default floors apply unchanged.
+    """
+
+    builder: str = "sf"
+    records: int = 120          # heap rows preloaded before the build
+    operations: int = 40        # concurrent update ops per worker
+    workers: int = 2
+    seed: int = 7               # workload/system seed (not the schedule)
+    partitions: int = 2         # psf shard count (ignored by nsf/sf)
+    preempt_prob: float = 0.1
+    max_preemptions: int = 16
+    buffer_frames: int = 64
+    checkpoint_every_pages: int = 8
+    checkpoint_every_keys: int = 48
+    commit_every_keys: int = 24
+
+    def system_config(self) -> SystemConfig:
+        return SystemConfig(page_capacity=8, leaf_capacity=8,
+                            buffer_frames=self.buffer_frames,
+                            sort_workspace=16, merge_fanin=4)
+
+    def build_options(self) -> BuildOptions:
+        return BuildOptions(
+            checkpoint_every_pages=self.checkpoint_every_pages,
+            checkpoint_every_keys=self.checkpoint_every_keys,
+            commit_every_keys=self.commit_every_keys,
+            partitions=self.partitions)
+
+    def make_policy(self, plan: "SchedulePlan"):
+        if plan.choices is not None:
+            return ReplayPolicy(plan.choices)
+        if plan.schedule_seed is None:
+            return FifoPolicy()
+        return RandomTiePolicy(plan.schedule_seed,
+                               preempt_prob=self.preempt_prob,
+                               max_preemptions=self.max_preemptions)
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """What to run: a seeded exploration, a replay, or the FIFO baseline."""
+
+    #: RandomTiePolicy seed; None = explicit FIFO baseline
+    schedule_seed: Optional[int] = None
+    #: recorded choice-string; when set, replays it instead of exploring
+    choices: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.choices is not None:
+            return (f"replay[{self.choices or '(fifo)'}] "
+                    f"seed={self.schedule_seed}")
+        if self.schedule_seed is None:
+            return "fifo-baseline"
+        return f"schedule-seed={self.schedule_seed}"
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one explored schedule."""
+
+    plan: SchedulePlan
+    passed: bool = False
+    detail: str = ""
+    #: the run's recorded choice-string (the reproduction recipe)
+    choices: str = ""
+    consults: int = 0
+    ties_perturbed: int = 0
+    preemptions: int = 0
+    sim_time: float = 0.0
+
+    @property
+    def failed(self) -> bool:
+        return not self.passed
+
+
+# -- one deterministic run ----------------------------------------------------
+
+
+def _start_build(config: ScheduleConfig, policy):
+    """Preload the table, install the policy, launch builder + workload.
+
+    The policy is installed *after* the preload (mirroring the crash
+    sweep's injector), so consult numbering covers exactly the
+    build-era schedule and the preloaded table is identical across all
+    schedules of one config.
+    """
+    system = System(config.system_config(), seed=config.seed)
+    table = system.create_table("t", ["k", "p"])
+    spec = WorkloadSpec(operations=config.operations,
+                        workers=config.workers,
+                        think_time=1.0, rollback_fraction=0.2)
+    driver = WorkloadDriver(system, table, spec, seed=config.seed)
+    preload = system.spawn(driver.preload(config.records), name="preload")
+    system.run()
+    if preload.error is not None:  # pragma: no cover - setup bug
+        raise preload.error
+    system.sim.schedule_policy = policy
+    builder_cls = get_builder(config.builder)
+    builder = builder_cls(system, table, IndexSpec.of(INDEX_NAME, ["k"]),
+                          options=config.build_options())
+    proc = system.spawn(builder.run(), name="builder")
+    driver.spawn_workers()
+    return system, driver, proc
+
+
+def run_plan(config: ScheduleConfig, plan: SchedulePlan) -> ScheduleResult:
+    """Run one schedule to completion and apply the full oracle."""
+    result = ScheduleResult(plan=plan)
+    policy = config.make_policy(plan)
+    system, driver, proc = _start_build(config, policy)
+    failure = ""
+    try:
+        system.run()
+    except ReplayMismatch as exc:
+        failure = f"replay diverged: {exc}"
+    except Exception as exc:  # noqa: BLE001 - a process died; report it
+        failure = f"schedule raised: {exc!r}"
+    recorder = getattr(policy, "recorder", None)
+    if recorder is not None:
+        result.choices = recorder.choice_string()
+        result.consults = recorder.consults
+        result.ties_perturbed = recorder.ties_perturbed
+        result.preemptions = recorder.preemptions
+    result.sim_time = system.sim.now
+    if not failure:
+        failure = check_run(system, driver, proc, INDEX_NAME)
+    result.detail = failure
+    result.passed = not failure
+    return result
+
+
+# -- failure reporting --------------------------------------------------------
+
+
+def schedule_dump(plan: SchedulePlan, config: ScheduleConfig,
+                  result: ScheduleResult, attempts: int = 1) -> str:
+    """Render a deterministic reproduction recipe for a failing schedule."""
+    replay_flags = (
+        f"--builder {config.builder} --partitions {config.partitions} "
+        f"--records {config.records} --operations {config.operations} "
+        f"--workers {config.workers} --seed {config.seed} "
+        f"--replay {result.choices or plan.choices or ''!r}")
+    lines = [
+        f"schedule    : {plan.describe()}",
+        f"failure     : {result.detail or '(passed)'}",
+        f"choices     : {result.choices or plan.choices or '(fifo)'}",
+        f"perturbed   : {result.ties_perturbed} ties, "
+        f"{result.preemptions} preemptions over {result.consults} consults",
+        f"reproduce   : python -m repro.schedsweep {replay_flags}",
+        f"shrink runs : {attempts}",
+    ]
+    return "\n".join(lines)
+
+
+def shrink_schedule_failure(config: ScheduleConfig, plan: SchedulePlan,
+                            max_attempts: int = 16):
+    """Shrink a failing seeded schedule via the generic shrinker.
+
+    The *seeded* plan (not its choice-string) is re-run at each smaller
+    config: the same seed explores an analogous schedule over the
+    smaller workload, and the shrunk run's own recorded choice-string
+    becomes the final reproduction recipe.
+    """
+    return shrink_failure(config, plan, max_attempts,
+                          runner=run_plan, dump=schedule_dump)
+
+
+# -- the sweep ----------------------------------------------------------------
+
+
+@dataclass
+class BuilderCensus:
+    """All explored schedules for one (builder, partitions) row."""
+
+    builder: str
+    partitions: int
+    baseline: ScheduleResult
+    results: list = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        if self.builder == "psf":
+            return f"psf(P={self.partitions})"
+        return self.builder
+
+    @property
+    def failures(self) -> list:
+        rows = [] if self.baseline.passed else [self.baseline]
+        rows.extend(r for r in self.results if r.failed)
+        return rows
+
+    def totals(self) -> tuple[int, int, int]:
+        return (sum(r.consults for r in self.results),
+                sum(r.ties_perturbed for r in self.results),
+                sum(r.preemptions for r in self.results))
+
+
+@dataclass
+class ScheduleSweepReport:
+    """Census + failures for a whole sweep."""
+
+    config: ScheduleConfig
+    schedules: int
+    rows: list
+
+    @property
+    def failures(self) -> list:
+        return [(census, result) for census in self.rows
+                for result in census.failures]
+
+    @property
+    def all_passed(self) -> bool:
+        return not self.failures
+
+    def to_text(self) -> str:
+        lines = [
+            f"schedule sweep: records={self.config.records} "
+            f"operations={self.config.operations} "
+            f"workers={self.config.workers} seed={self.config.seed} "
+            f"preempt_prob={self.config.preempt_prob}",
+            f"{self.schedules} seeded schedules per builder "
+            f"(+1 FIFO baseline each)",
+            "",
+            f"{'builder':<10} {'schedules':>9} {'consults':>10} "
+            f"{'tie-perturb':>11} {'preempts':>9}  result",
+        ]
+        for census in self.rows:
+            consults, ties, preempts = census.totals()
+            bad = census.failures
+            verdict = "PASS" if not bad else f"FAIL ({len(bad)})"
+            lines.append(
+                f"{census.label:<10} {len(census.results):>9} "
+                f"{consults:>10} {ties:>11} {preempts:>9}  {verdict}")
+        total = sum(len(census.results) + 1 for census in self.rows)
+        failed = len(self.failures)
+        lines.append("")
+        lines.append(f"{total - failed}/{total} schedules passed the "
+                     "full oracle")
+        for census, result in self.failures:
+            lines.append(f"  FAIL {census.label} {result.plan.describe()}: "
+                         f"{result.detail}")
+        return "\n".join(lines)
+
+
+def schedule_seed_for(base_seed: int, row_index: int, n: int) -> int:
+    """Deterministic per-run policy seed (stable across sweep shapes)."""
+    return (base_seed * 1_000_003) ^ (row_index << 20) ^ n
+
+
+def run_sweep(config: ScheduleConfig, schedules: int,
+              rows: Optional[list] = None, progress=None,
+              shrink: bool = True) -> ScheduleSweepReport:
+    """Explore ``schedules`` seeded runs per builder row; report.
+
+    ``rows``: list of ``(builder, partitions)`` pairs; defaults to
+    :data:`DEFAULT_ROWS`.  When ``shrink`` is true, each failing seeded
+    schedule is additionally shrunk and its minimized reproduction
+    recipe appended to the result's detail.
+    """
+    rows = list(DEFAULT_ROWS) if rows is None else rows
+    censuses = []
+    for row_index, (builder, partitions) in enumerate(rows):
+        row_config = replace(config, builder=builder,
+                             partitions=partitions)
+        baseline = run_plan(row_config, SchedulePlan())
+        census = BuilderCensus(builder=builder, partitions=partitions,
+                               baseline=baseline)
+        censuses.append(census)
+        if progress is not None:
+            status = "ok" if baseline.passed else \
+                f"FAIL: {baseline.detail}"
+            progress(f"[{census.label}] baseline {status}")
+        if baseline.failed:
+            # The FIFO schedule itself fails: exploring perturbations
+            # of a broken baseline would just repeat the same failure.
+            continue
+        for n in range(schedules):
+            seed = schedule_seed_for(config.seed, row_index, n)
+            plan = SchedulePlan(schedule_seed=seed)
+            result = run_plan(row_config, plan)
+            if result.failed and shrink:
+                shrunk = shrink_schedule_failure(row_config, plan)
+                result.detail += "\n" + shrunk.report()
+            census.results.append(result)
+            if progress is not None and (result.failed
+                                         or (n + 1) % 10 == 0
+                                         or n + 1 == schedules):
+                status = "ok" if result.passed else \
+                    f"FAIL: {result.detail.splitlines()[0]}"
+                progress(f"[{census.label}] {n + 1}/{schedules} "
+                         f"{status}")
+    return ScheduleSweepReport(config=config, schedules=schedules,
+                               rows=censuses)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Explore seeded adversarial schedules of an online "
+                    "index build and prove the full oracle on each.")
+    parser.add_argument("--builder",
+                        choices=("all", "offline", "nsf", "sf", "psf"),
+                        default="all")
+    parser.add_argument("--partitions", type=int, default=None,
+                        help="psf shard count; default sweeps P in "
+                             "{1,2,3}")
+    parser.add_argument("--schedules", type=int, default=50,
+                        help="seeded schedules per builder row")
+    parser.add_argument("--records", type=int, default=120)
+    parser.add_argument("--operations", type=int, default=40)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--preempt-prob", type=float, default=0.1)
+    parser.add_argument("--max-preemptions", type=int, default=16)
+    parser.add_argument("--schedule-seed", type=int, default=None,
+                        help="run exactly one seeded schedule and exit")
+    parser.add_argument("--replay", default=None, metavar="CHOICES",
+                        help="replay one recorded choice-string and exit")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip shrinking failing schedules")
+    parser.add_argument("--failures-out", default=None, metavar="DIR",
+                        help="write one reproduction recipe per failing "
+                             "schedule here (CI artifact)")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    config = ScheduleConfig(
+        builder=args.builder if args.builder != "all" else "sf",
+        records=args.records,
+        operations=args.operations,
+        workers=args.workers,
+        seed=args.seed,
+        partitions=args.partitions if args.partitions is not None else 2,
+        preempt_prob=args.preempt_prob,
+        max_preemptions=args.max_preemptions,
+    )
+
+    if args.replay is not None or args.schedule_seed is not None:
+        # Single-run mode: replay a recorded schedule or explore one seed.
+        plan = SchedulePlan(schedule_seed=args.schedule_seed,
+                            choices=args.replay)
+        result = run_plan(config, plan)
+        print(schedule_dump(plan, config, result))
+        return 0 if result.passed else 1
+
+    if args.builder == "all":
+        rows = list(DEFAULT_ROWS)
+    elif args.builder == "psf" and args.partitions is None:
+        rows = [("psf", p) for p in (1, 2, 3)]
+    else:
+        rows = [(args.builder, config.partitions)]
+
+    progress = None if args.quiet else \
+        (lambda line: print(line, file=sys.stderr, flush=True))
+    report = run_sweep(config, args.schedules, rows=rows,
+                       progress=progress, shrink=not args.no_shrink)
+    if args.failures_out is not None:
+        import os
+        os.makedirs(args.failures_out, exist_ok=True)
+        for index, (census, result) in enumerate(report.failures):
+            path = os.path.join(args.failures_out,
+                                f"{census.label}-{index}.txt")
+            with open(path, "w") as handle:
+                handle.write(schedule_dump(result.plan,
+                                           replace(config,
+                                                   builder=census.builder,
+                                                   partitions=census.partitions),
+                                           result))
+                handle.write("\n")
+            print(f"failure written: {path}", file=sys.stderr)
+    print(report.to_text())
+    return 0 if report.all_passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -24,6 +24,7 @@ With P = 1 the vector degenerates to the paper's single Current-RID.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -77,7 +78,7 @@ class ScanFrontier:
     that makes ``Target-RID != Current-RID`` impossible (section 3.1).
     """
 
-    __slots__ = ("partitions", "current")
+    __slots__ = ("partitions", "current", "_ends")
 
     def __init__(self, partitions: Sequence[Partition]) -> None:
         if not partitions:
@@ -85,15 +86,24 @@ class ScanFrontier:
         self.partitions = list(partitions)
         #: per-shard Current-RID; starts at the shard's first page
         self.current: list[RID] = [RID(p.start, 0) for p in self.partitions]
+        #: exclusive page-range ends of all shards but the last, for the
+        #: binary-searched ownership test (partition ranges never change
+        #: after construction; only frontiers move)
+        self._ends: list[int] = [p.end for p in self.partitions[:-1]]
 
     # -- the generalized visibility test -----------------------------------
 
     def shard_of(self, page_no: int) -> int:
-        """The shard owning ``page_no`` (extensions go to the last shard)."""
-        for partition in self.partitions[:-1]:
-            if page_no < partition.end:
-                return partition.index
-        return self.partitions[-1].index
+        """The shard owning ``page_no`` (extensions go to the last shard).
+
+        Runs on *every* visibility test concurrent updaters perform, so
+        it binary-searches the precomputed range ends instead of scanning
+        them: ``bisect_right`` returns the first shard whose end exceeds
+        ``page_no`` -- identical to the linear answer, including for
+        empty shards (duplicate ends) and pages past the partitioned
+        range (which fall through to the last, EOF-chasing shard).
+        """
+        return bisect_right(self._ends, page_no)
 
     def scanned(self, rid: RID) -> bool:
         """Generalized ``Target-RID < Current-RID``: behind the owning

@@ -29,6 +29,26 @@ the races of section 1.2.
 Determinism: ties in the event queue are broken by a monotonically
 increasing sequence number, so two runs with the same seed produce
 identical schedules.
+
+Schedule exploration: the FIFO tie-break is only *one* of the legal
+schedules; the paper's correctness arguments (sections 1.2, 2.1, 3.1)
+quantify over every interleaving.  :attr:`Simulator.schedule_policy`
+accepts a policy object with a single method::
+
+    choose(time, procs, can_defer) -> int
+
+called once per dispatch with the processes runnable at the current
+instant, in FIFO order.  Returning an index in ``[0, len(procs))`` picks
+that candidate (0 = the default FIFO choice); returning a negative value
+*preempts* the FIFO head -- it is deferred behind every other event at
+the next occupied instant, modelling an OS-level preemption at a yield
+point.  Preemption is only honoured when ``can_defer`` is true, and a
+policy must bound how often it preempts or the loop cannot make
+progress.  Policies therefore perturb only same-timestamp ties and
+bounded preemptions: every produced schedule is one a real scheduler
+could have produced.  With no policy installed (or the FIFO default from
+:mod:`repro.schedsweep.policy`), schedules are byte-identical to the
+historical kernel.
 """
 
 from __future__ import annotations
@@ -225,6 +245,9 @@ class Simulator:
         #: set, it is consulted before every dispatch of a watched process
         #: so a crash can land on any scheduler step.
         self.fault_injector: Optional[Any] = None
+        #: Installed schedule policy (see module docstring).  None keeps
+        #: the historical FIFO dispatch byte-for-byte.
+        self.schedule_policy: Optional[Any] = None
         #: every process ever spawned, in pid order (for :meth:`processes`)
         self._processes: list[Process] = []
 
@@ -294,20 +317,78 @@ class Simulator:
         simulated failure) -- except :class:`SystemCrash`.
         """
         while self._queue:
-            time, _seq, proc, value, throw = heapq.heappop(self._queue)
-            if until is not None and time > until:
-                # Put it back so a later run() can continue from here.
-                self._seq += 1
-                heapq.heappush(self._queue,
-                               (time, self._seq, proc, value, throw))
-                self.now = until
-                return
+            if self.schedule_policy is not None:
+                entry = self._pop_with_policy(until)
+                if entry is None:
+                    return
+                time, _seq, proc, value, throw = entry
+            else:
+                time, seq, proc, value, throw = heapq.heappop(self._queue)
+                if until is not None and time > until:
+                    # Put it back *unchanged* so a later run() continues
+                    # from here.  The original sequence number must be
+                    # preserved: re-stamping it would reorder this event
+                    # behind same-timestamp peers still in the queue,
+                    # making run-in-slices diverge from one continuous
+                    # run().
+                    heapq.heappush(self._queue,
+                                   (time, seq, proc, value, throw))
+                    self.now = until
+                    return
             self.now = time
             if proc.finished:
                 continue
             self._step(proc, value, throw)
             if self.crashed:
                 return
+
+    def _pop_with_policy(self, until: Optional[float]):
+        """Pop the next event, letting :attr:`schedule_policy` choose
+        among same-timestamp ties.
+
+        Returns the chosen queue entry, or None when the ``until``
+        boundary (or an all-dead queue) stops this run() call.  Unchosen
+        tied entries go back with their original sequence numbers, so
+        FIFO order among them is preserved; a preempted FIFO head is
+        re-stamped at the next occupied instant.
+        """
+        policy = self.schedule_policy
+        while self._queue:
+            head_time = self._queue[0][0]
+            if until is not None and head_time > until:
+                self.now = until
+                return None
+            batch = []
+            while self._queue and self._queue[0][0] == head_time:
+                batch.append(heapq.heappop(self._queue))
+            live = [e for e in batch if not e[2].finished]
+            if not live:
+                # Parity with the unhooked loop: the clock advances over
+                # events addressed to finished processes.
+                self.now = head_time
+                continue
+            can_defer = bool(self._queue) or len(live) > 1
+            choice = policy.choose(head_time, [e[2] for e in live],
+                                   can_defer)
+            if choice < 0 and can_defer:
+                # Preempt the FIFO head: defer it to the next occupied
+                # instant (or behind its same-time peers), where it joins
+                # that batch's tie-break.
+                deferred = live[0]
+                for e in live[1:]:
+                    heapq.heappush(self._queue, e)
+                target = self._queue[0][0] if self._queue else head_time
+                self._seq += 1
+                heapq.heappush(self._queue, (target, self._seq,
+                                             deferred[2], deferred[3],
+                                             deferred[4]))
+                continue
+            chosen = live[choice] if 0 <= choice < len(live) else live[0]
+            for e in live:
+                if e is not chosen:
+                    heapq.heappush(self._queue, e)
+            return chosen
+        return None
 
     def _step(self, proc: Process, value: Any, throw: bool) -> None:
         if self.fault_injector is not None and not throw:
@@ -328,6 +409,14 @@ class Simulator:
             self.crash_error = crash
             self._finish(proc, error=crash)
             return
+        except BaseException as error:
+            # A Python error is a bug, not a simulated failure: it still
+            # propagates out of run(), but the process must be finished
+            # with the error recorded first so joiners see the failure
+            # (thrown into them by _finish) instead of hanging forever or
+            # silently resuming with result=None.
+            self._finish(proc, error=error)
+            raise
         finally:
             self.current = None
         self._dispatch(proc, effect)
@@ -343,7 +432,12 @@ class Simulator:
         elif isinstance(effect, Join):
             target = effect.process
             if target.finished:
-                self._resume(proc, target.result)
+                if target.error is not None:
+                    # The target already died with an error: a bare Join
+                    # must surface it, not yield result=None.
+                    self._throw(proc, target.error)
+                else:
+                    self._resume(proc, target.result)
             else:
                 target._waiters.append(proc)
         else:
@@ -359,7 +453,13 @@ class Simulator:
         self.live_processes -= 1
         waiters, proc._waiters = proc._waiters, []
         for waiter in waiters:
-            self._resume(waiter, result)
+            if error is not None:
+                # Throw the failure into every joiner.  ProcessGroup's
+                # join_all keeps its lowest-pid-first semantics because
+                # it joins members in spawn order.
+                self._throw(waiter, error)
+            else:
+                self._resume(waiter, result)
 
 
 def run_to_completion(bodies: Iterable[tuple[str, ProcessBody]],

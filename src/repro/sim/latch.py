@@ -87,10 +87,24 @@ class Latch:
         is best-effort and silent.
         """
         if proc is None:
+            # Drain every holder that has already finished (the crashed
+            # or errored process's generator is being GC'd, possibly
+            # after several holders died in the same schedule), then fall
+            # back to popping one arbitrary holder so the release is
+            # never a silent no-op.  Crucially, if the latch frees up,
+            # surviving queued processes must be woken -- otherwise they
+            # hang forever, which schedule sweeps observe as a lost
+            # wakeup.
             if self._holders:
-                self._holders.pop(next(iter(self._holders)))
+                dead = [p for p in self._holders if p.finished]
+                if dead:
+                    for p in dead:
+                        del self._holders[p]
+                else:
+                    self._holders.pop(next(iter(self._holders)))
                 if not self._holders:
                     self._mode = None
+                    self._wake_waiters()
             return
         if proc not in self._holders:
             raise SimulationError(
@@ -103,7 +117,14 @@ class Latch:
         self._wake_waiters()
 
     def _wake_waiters(self) -> None:
-        if not self._waiters or self._sim is None:
+        if self._sim is None:
+            return
+        # Drop waiters that died (crashed/errored) while queued: granting
+        # to a finished process would hold the latch forever because the
+        # kernel never dispatches it again to release.
+        while self._waiters and self._waiters[0][0].finished:
+            self._waiters.popleft()
+        if not self._waiters:
             return
         proc, mode, queued_at = self._waiters[0]
         if mode == EXCLUSIVE:
@@ -115,6 +136,8 @@ class Latch:
         # Grant the whole leading run of share requests.
         while self._waiters and self._waiters[0][1] == SHARE:
             proc, _mode, queued_at = self._waiters.popleft()
+            if proc.finished:
+                continue
             self._record_wait(queued_at)
             self._grant(proc, SHARE)
             self._sim._resume(proc, self)

@@ -75,11 +75,24 @@ class _LockHead:
         return True
 
     def grant(self, txn: "Transaction", mode: str) -> None:
+        # Conversions go through _union; note its SIX caveat -- a holder
+        # combining IX with S records X, not SIX, so later compatibility
+        # checks are stricter than a real SIX implementation (safe, but
+        # it can deny an IS/IX request a true SIX would admit).
         self.holders[txn] = _union(self.holders.get(txn), mode)
 
 
 def _union(held: Optional[str], requested: str) -> str:
-    """The combined mode after a conversion grant."""
+    """The combined mode after a conversion grant.
+
+    The incomparable pair IX + S would be SIX in a full hierarchical
+    implementation; this lock manager has no SIX mode and approximates
+    the union as X.  That is strictly *more* restrictive than SIX
+    (X conflicts with everything SIX conflicts with, plus IS), so the
+    approximation can only reduce concurrency, never admit an illegal
+    schedule.  Call sites that perform IX->S or S->IX conversions pay
+    this cost; see the note at :meth:`_LockHead.grant`.
+    """
     if held is None or held == requested:
         return requested
     if _STRENGTH[held] > _STRENGTH[requested]:
@@ -109,12 +122,27 @@ class LockManager:
         returns False instead of waiting.  Raises
         :class:`~repro.errors.DeadlockVictim` if this transaction is chosen
         as a deadlock victim while waiting.
+
+        A request in a mode the transaction already covers (same mode, or
+        anything while holding X) is granted on a fast path; *instant*
+        fast-path grants still count toward ``lock.instant_grants``.  A
+        conversion (e.g. held S, requested IX) records the :func:`_union`
+        of the two modes -- note that the IX+S union is approximated as X
+        rather than SIX (see :func:`_union`).
         """
         self.metrics.incr("lock.requests")
         head = self._heads.setdefault(name, _LockHead())
         already = head.holders.get(txn)
         if already == EXCLUSIVE or already == mode:
-            return True  # re-request of held mode (or weaker)
+            # Re-request of a held mode (or anything under a held X):
+            # granted without touching lock state.  An instant-duration
+            # re-request is still an instant grant and must be counted
+            # as one -- the grantable path below increments the same
+            # counter, and skipping it here made instant accounting
+            # depend on what the transaction already held.
+            if instant:
+                self.metrics.incr("lock.instant_grants")
+            return True
 
         if head.grantable(txn, mode) and not self._blocked_behind(head, txn):
             if instant:

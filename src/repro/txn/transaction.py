@@ -37,6 +37,45 @@ class TxnState(enum.Enum):
     ABORTED = "aborted"
 
 
+class OrderedSet:
+    """Insertion-ordered set (dict-backed) for lock names.
+
+    ``release_all`` iterates :attr:`Transaction.held_locks`, and its
+    drain order decides which waiter wakes first on each freed lock.  A
+    plain ``set`` of string-bearing tuples iterates in hash-randomized
+    order, which varies across interpreter invocations -- fine for a
+    single deterministic run, but it makes a recorded schedule from
+    :mod:`repro.schedsweep` non-replayable in a fresh process.
+    Insertion order (acquisition order) is stable everywhere.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: dict[Hashable, None] = {}
+
+    def add(self, item: Hashable) -> None:
+        self._items[item] = None
+
+    def discard(self, item: Hashable) -> None:
+        self._items.pop(item, None)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._items
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"OrderedSet({list(self._items)!r})"
+
+
 class Transaction:
     """One transaction's identity, log chain, and lock set."""
 
@@ -48,7 +87,7 @@ class Transaction:
         self.state = TxnState.ACTIVE
         self.first_lsn: Optional[int] = None
         self.last_lsn: Optional[int] = None
-        self.held_locks: set[Hashable] = set()
+        self.held_locks: OrderedSet = OrderedSet()
         self.waiting_on: Optional[Hashable] = None
 
     # -- logging ------------------------------------------------------------

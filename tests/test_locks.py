@@ -246,6 +246,115 @@ def test_re_request_of_held_lock_is_free():
     drive_all(system, [body()])
 
 
+def test_instant_re_request_counts_instant_grant():
+    """An instant request covered by an already-held mode is still an
+    instant grant and must be counted as one -- the fast path used to
+    return before the accounting."""
+    system = System()
+
+    def body():
+        txn = system.txns.begin()
+        yield from txn.lock("r1", "S")
+        before = system.metrics.get("lock.instant_grants")
+        got = yield from txn.lock("r1", "S", instant=True)
+        assert got is True
+        assert system.metrics.get("lock.instant_grants") == before + 1
+        # ... and the instant request still holds nothing extra.
+        yield from txn.lock("r1", "X")  # upgrade
+        got = yield from txn.lock("r1", "S", instant=True)  # under X
+        assert got is True
+        assert system.metrics.get("lock.instant_grants") == before + 2
+        yield from txn.commit()
+
+    drive_all(system, [body()])
+
+
+def test_instant_grant_accounting_matches_grantable_path():
+    """Instant grants count identically whether the fast path (mode
+    already covered) or the grantable path (new name) serves them."""
+    system = System()
+
+    def body():
+        txn = system.txns.begin()
+        got = yield from txn.lock("fresh", "S", instant=True)  # grantable path
+        assert got is True
+        assert system.metrics.get("lock.instant_grants") == 1
+        assert "fresh" not in txn.held_locks
+        yield from txn.lock("held", "X")
+        got = yield from txn.lock("held", "X", instant=True)   # fast path
+        assert got is True
+        assert system.metrics.get("lock.instant_grants") == 2
+        yield from txn.commit()
+
+    drive_all(system, [body()])
+
+
+def test_conversion_union_approximates_six_as_x():
+    """IX + S (= SIX in a full implementation) is recorded as X -- the
+    documented approximation: strictly more restrictive, never weaker."""
+    system = System()
+
+    def converter():
+        txn = system.txns.begin("c")
+        yield from txn.lock(("table", "t"), "IX")
+        yield from txn.lock(("table", "t"), "S")  # IX + S -> X
+        assert system.locks.holders(("table", "t")) == {txn.txn_id: "X"}
+        yield Delay(5)
+        yield from txn.commit()
+
+    def prober():
+        yield Delay(1)
+        txn = system.txns.begin("p")
+        # A true SIX would admit IS; the X approximation denies it.
+        got = yield from txn.lock(("table", "t"), "IS", conditional=True)
+        assert got is False
+        yield from txn.commit()
+
+    drive_all(system, [converter(), prober()])
+
+
+def test_conversion_then_instant_re_request():
+    """Conversion + instant interplay: after S -> X conversion, an
+    instant request of either mode is a fast-path instant grant that
+    leaves the held X untouched."""
+    system = System()
+
+    def body():
+        txn = system.txns.begin()
+        yield from txn.lock("r1", "S")
+        yield from txn.lock("r1", "X")  # conversion
+        before = system.metrics.get("lock.instant_grants")
+        for mode in ("S", "X"):
+            got = yield from txn.lock("r1", mode, instant=True)
+            assert got is True
+        assert system.metrics.get("lock.instant_grants") == before + 2
+        assert system.locks.holders("r1") == {txn.txn_id: "X"}
+        yield from txn.commit()
+
+    drive_all(system, [body()])
+
+
+def test_held_locks_iterates_in_acquisition_order():
+    """``held_locks`` is insertion-ordered: ``release_all``'s drain order
+    (and therefore which waiter wakes first) must not depend on hash
+    randomization, or recorded schedules would not replay across
+    interpreter runs."""
+    system = System()
+    names = [("rec", "t", i) for i in range(8)] + [("table", "t")]
+
+    def body():
+        txn = system.txns.begin()
+        for name in names:
+            yield from txn.lock(name, "X")
+        assert list(txn.held_locks) == names
+        system.locks.unlock(txn, names[3])
+        assert list(txn.held_locks) == names[:3] + names[4:]
+        yield from txn.commit()
+        assert len(txn.held_locks) == 0
+
+    drive_all(system, [body()])
+
+
 def test_fifo_no_overtaking():
     system = System()
     order = []

@@ -65,6 +65,32 @@ def test_shard_of_routes_pages_and_extensions():
     assert frontier.shard_of(42) == 2
 
 
+def test_shard_of_bisect_matches_linear_reference():
+    """The binary-searched ``shard_of`` must agree with the original
+    linear scan on every shape: even splits, empty shards (duplicate
+    range ends), single shard, and pages past the partitioned range."""
+    def linear_shard_of(partitions, page_no):
+        for partition in partitions[:-1]:
+            if page_no < partition.end:
+                return partition.index
+        return partitions[-1].index
+
+    shapes = [partition_pages(pages, shards)
+              for pages in (0, 1, 2, 9, 10, 17, 64)
+              for shards in (1, 2, 3, 4, 7)]
+    # Hand-built shape with interior empty shards (start == end).
+    shapes.append([Partition(0, 0, 4), Partition(1, 4, 4),
+                   Partition(2, 4, 4), Partition(3, 4, 9),
+                   Partition(4, 9, 12, chases_eof=True)])
+    for partitions in shapes:
+        frontier = ScanFrontier(partitions)
+        top = max(p.end for p in partitions) + 5
+        for page_no in range(top):
+            assert frontier.shard_of(page_no) == \
+                linear_shard_of(partitions, page_no), \
+                (partitions, page_no)
+
+
 def test_frontier_scanned_is_per_partition():
     frontier = ScanFrontier(partition_pages(9, 3))
     # shard 1 has scanned up to page 5; shards 0 and 2 not at all

@@ -157,6 +157,25 @@ def test_ib_micro_speedup_recorded(smoke_payload):
     assert best > 1.1
 
 
+def test_frontier_micro_speedup_recorded(smoke_payload):
+    """The bisect ``shard_of`` must not regress to the linear scan: the
+    micro cross-checks both implementations entry-for-entry and records
+    their in-process ratio, gated here with the same lenient
+    best-of-three floor as the IB micro (wall-clock noise tolerance)."""
+    from repro.bench.perf import micro_frontier_shard_of
+
+    scenario = find_scenario(smoke_payload, "micro/frontier_shard_of")
+    assert scenario["ok"]
+    assert scenario["baseline"]["wall_seconds"] > 0
+    assert scenario["optimized"]["wall_seconds"] > 0
+    best = scenario["speedup"]
+    for _ in range(2):
+        if best > 1.1:
+            break
+        best = max(best, micro_frontier_shard_of("smoke")["speedup"])
+    assert best > 1.1
+
+
 # -- crash-sweep census guard ------------------------------------------------
 
 

@@ -165,6 +165,95 @@ def test_run_until_pauses_and_resumes():
     assert sim.now == 40
 
 
+def test_run_in_slices_matches_continuous_run():
+    """Pausing at ``until`` must not reorder same-timestamp ties.
+
+    Regression: the deferred head event used to be re-pushed with a
+    fresh sequence number, dropping it behind its same-timestamp peers,
+    so run-in-slices produced a different schedule than one continuous
+    run().
+    """
+    def make(order):
+        def mk(tag):
+            def body():
+                for _ in range(3):
+                    yield Delay(10)
+                    order.append(tag)
+            return body()
+        return mk
+
+    continuous_order, sliced_order = [], []
+    continuous = Simulator()
+    for tag in "abc":
+        continuous.spawn(make(continuous_order)(tag))
+    continuous.run()
+
+    sliced = Simulator()
+    for tag in "abc":
+        sliced.spawn(make(sliced_order)(tag))
+    # Boundaries both between events and splitting a same-time batch:
+    # run(until=5) pops the t=10 head and must put it back unreordered.
+    for until in (5, 10, 15, 25):
+        sliced.run(until=until)
+    sliced.run()
+
+    assert sliced_order == continuous_order
+    assert sliced.now == continuous.now
+
+
+def test_bare_join_receives_worker_error():
+    """A bare ``Join`` on a process that died with a Python error must
+    raise that error in the joiner, not resume it with ``result=None``."""
+    caught = []
+
+    def worker():
+        yield Delay(1)
+        raise RuntimeError("worker bug")
+
+    def joiner(sim, kid):
+        try:
+            yield Join(kid)
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim = Simulator()
+    kid = sim.spawn(worker(), name="kid")
+    sim.spawn(joiner(sim, kid), name="joiner")
+    # The error still propagates out of run() (it is a bug, not a
+    # simulated failure) ...
+    with pytest.raises(RuntimeError, match="worker bug"):
+        sim.run()
+    # ... but the joiner was scheduled to receive it, not swallow it.
+    sim.run()
+    assert caught == ["worker bug"]
+
+
+def test_join_on_already_errored_process_raises():
+    """Joining a process that already finished with an error raises it
+    immediately (the deferred-join twin of the test above)."""
+    caught = []
+
+    def worker():
+        yield Delay(1)
+        raise RuntimeError("early death")
+
+    def late_joiner(kid):
+        yield Delay(5)
+        try:
+            yield Join(kid)
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim = Simulator()
+    kid = sim.spawn(worker(), name="kid")
+    sim.spawn(late_joiner(kid), name="late")
+    with pytest.raises(RuntimeError, match="early death"):
+        sim.run()
+    sim.run()
+    assert kid.error is not None
+    assert caught == ["early death"]
+
+
 def test_system_crash_stops_simulator():
     def crasher():
         yield Delay(1)

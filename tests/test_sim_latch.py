@@ -152,6 +152,96 @@ def test_latch_metrics_counted():
     assert metrics.stat("latch.wait_time").total == pytest.approx(6)
 
 
+def test_crash_path_release_wakes_surviving_waiters():
+    """``release(None)`` (crash-path GC release) must drain dead holders
+    AND wake queued survivors -- it used to pop one holder silently,
+    leaving waiters hung forever."""
+    latch = Latch("p1")
+    sim = Simulator()
+    granted = []
+
+    def doomed():
+        yield Acquire(latch, EXCLUSIVE)
+        yield Delay(100)  # never reached: we kill it below
+
+    def survivor():
+        yield Delay(1)
+        yield Acquire(latch, EXCLUSIVE)
+        granted.append(sim.now)
+        latch.release(sim.current)
+
+    dead = sim.spawn(doomed(), name="doomed")
+    sim.spawn(survivor(), name="survivor")
+    sim.run(until=2)
+    assert latch.held_by(dead)
+    assert not granted  # survivor is queued behind the holder
+    # Simulate the crashed process's generator being GC'd: the kernel no
+    # longer tracks it, and its finally-block releases with proc=None.
+    dead.finished = True
+    latch.release(None)
+    sim.run()
+    assert granted == [2]
+    assert not latch.held
+
+
+def test_crash_path_release_drains_all_dead_holders():
+    """Several share holders died: one ``release(None)`` drains them all
+    (the GC order of their generators is arbitrary, so the first
+    finalizer must not leave dead holders pinning the latch)."""
+    latch = Latch("p1")
+    sim = Simulator()
+    granted = []
+
+    def doomed():
+        yield Acquire(latch, SHARE)
+        yield Delay(100)
+
+    def survivor():
+        yield Delay(1)
+        yield Acquire(latch, EXCLUSIVE)
+        granted.append(sim.now)
+        latch.release(sim.current)
+
+    dead = [sim.spawn(doomed(), name=f"doomed-{i}") for i in range(3)]
+    sim.spawn(survivor(), name="survivor")
+    sim.run(until=2)
+    for proc in dead:
+        proc.finished = True
+    latch.release(None)
+    sim.run()
+    assert granted == [2]
+    assert not latch.held
+
+
+def test_wake_waiters_skips_dead_waiters():
+    """A waiter that died while queued must be skipped at grant time:
+    granting to it would hold the latch forever (the kernel never
+    dispatches a finished process again to release it)."""
+    latch = Latch("p1")
+    sim = Simulator()
+    granted = []
+
+    def holder():
+        yield Acquire(latch, EXCLUSIVE)
+        yield Delay(10)
+        latch.release(sim.current)
+
+    def waiter(tag):
+        yield Delay(1)
+        yield Acquire(latch, EXCLUSIVE)
+        granted.append(tag)
+        latch.release(sim.current)
+
+    sim.spawn(holder(), name="h")
+    doomed = sim.spawn(waiter("doomed"), name="doomed")
+    sim.spawn(waiter("live"), name="live")
+    sim.run(until=5)
+    doomed.finished = True  # died while queued (e.g. errored elsewhere)
+    sim.run()
+    assert granted == ["live"]
+    assert not latch.held
+
+
 def test_bad_mode_rejected():
     latch = Latch("p1")
     sim = Simulator()
