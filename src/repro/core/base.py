@@ -20,6 +20,7 @@ from typing import Optional, Sequence, TYPE_CHECKING
 
 from repro.core.descriptor import IndexDescriptor, IndexState
 from repro.core.maintenance import BuildContext, install_maintenance
+from repro.core.throttle import TokenBucket
 from repro.faultinject.sites import fault_point, fault_points_enabled
 from repro.sim.kernel import Acquire, Delay
 from repro.sim.latch import SHARE
@@ -115,6 +116,12 @@ class BuilderBase:
         self._trace_spans: dict[str, int] = {}
         #: wal.bytes counter at span begin, for per-phase WAL volume
         self._trace_wal: dict[str, int] = {}
+        #: IB admission control: one bucket shared by every process of
+        #: this build (coordinator, readers, PSF shards), so the *total*
+        #: build rate is bounded.  None when unthrottled.
+        limit = system.config.build_rate_limit
+        self._rate_bucket: Optional[TokenBucket] = \
+            TokenBucket(system.sim, limit) if limit else None
 
     # -- option resolution -------------------------------------------------
 
@@ -182,6 +189,44 @@ class BuilderBase:
             self._sorters[descriptor.name] = RunFormation(
                 self._store_for(descriptor), self.sort_workspace)
 
+    # -- IB admission control ----------------------------------------------
+
+    def _throttle(self, cost: float):
+        """Generator: charge ``cost`` work items against the build's
+        rate limit, delaying when the bucket runs dry.
+
+        When unthrottled (the default) this returns before its first
+        yield, so ``yield from self._throttle(n)`` adds *nothing* to the
+        schedule -- existing golden traces, sweeps, and perf baselines
+        are unchanged.  Builders call it at batch boundaries: one call
+        per prefetch batch (pages), insert batch, load flush, or drain
+        batch (keys / entries).
+        """
+        bucket = self._rate_bucket
+        if bucket is None or cost <= 0:
+            return
+        self.system.metrics.incr("build.throttle_charges")
+        before = self.system.sim.now
+        yield from bucket.acquire(cost)
+        waited = self.system.sim.now - before
+        if waited > 0:
+            self.system.metrics.incr("build.throttle_waits")
+            self.system.metrics.observe("build.throttle_wait_time", waited)
+
+    def _restore_throttle(self, utility_state: dict) -> None:
+        """Re-arm the rate limit recorded in a utility checkpoint.
+
+        Belt and braces for resume paths: :func:`repro.recovery.restart`
+        reuses the crashed system's config (so the constructor already
+        built the bucket), but a caller restarting with an explicit
+        config lacking the knob still gets the checkpointed rate back.
+        The bucket restarts full -- token levels are volatile state, and
+        the simulated clock resets to 0 across restart anyway.
+        """
+        rate = utility_state.get("build_rate_limit")
+        if rate and self._rate_bucket is None:
+            self._rate_bucket = TokenBucket(self.system.sim, rate)
+
     # -- the shared data scan (generator) ----------------------------------------------
 
     def _scan_and_sort(self, start_page: int = 0):
@@ -214,6 +259,7 @@ class BuilderBase:
                 break
             upto = min(page_no + self.prefetch_pages, last_page)
             batch_ids = [table.page_id(p) for p in range(page_no, upto)]
+            yield from self._throttle(len(batch_ids))
             pages = yield from self.system.buffer.fetch_sequential(batch_ids)
             for page in pages:
                 yield Acquire(page.latch, SHARE)
@@ -269,6 +315,7 @@ class BuilderBase:
                 upto = min(page_no + self.prefetch_pages, limit)
                 batch_ids = [table.page_id(p)
                              for p in range(page_no, upto)]
+                yield from self._throttle(len(batch_ids))
                 pages = yield from self.system.buffer.fetch_sequential(
                     batch_ids)
                 for page in pages:
@@ -362,6 +409,12 @@ class BuilderBase:
             "specs": [(s.name, list(s.key_columns), s.unique)
                       for s in self.specs],
         }
+        # Persist the admission-control rate so resume re-throttles even
+        # if recovery were handed a config without the knob (restart()
+        # normally carries crashed.config across, which already has it).
+        # Only added when throttled: unthrottled payloads stay unchanged.
+        if self._rate_bucket is not None:
+            payload["build_rate_limit"] = self._rate_bucket.rate
         payload.update(state)
         if self.context is not None:
             payload["current_rid"] = tuple(self.context.current_rid)

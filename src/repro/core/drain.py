@@ -59,6 +59,7 @@ class SideFileDrainer:
                     slack = checkpoint_every - since_checkpoint
                     if slack >= 1 and take > slack:
                         take = slack
+                yield from self._throttle(take)
                 batch = [(entry.operation, entry.key_value, entry.rid)
                          for entry in
                          sidefile.entries[position:position + take]]
@@ -129,6 +130,7 @@ class SideFileDrainer:
         for start in range(0, len(chunk), drain_batch):
             batch = [(entry.operation, entry.key_value, entry.rid)
                      for _pos, entry in chunk[start:start + drain_batch]]
+            yield from self._throttle(len(batch))
             yield from descriptor.tree.sf_drain_apply_batch(ib_txn, batch)
             metrics.incr("build.sidefile_drained", len(batch))
             metrics.incr("build.sidefile_drained_sorted", len(batch))

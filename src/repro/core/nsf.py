@@ -150,6 +150,7 @@ class NSFIndexBuilder(BuilderBase):
             batch = merger.pop_many(self.ib_batch_keys)
             if not batch:
                 break
+            yield from self._throttle(len(batch))
             yield from tree.ib_insert_batch(ib_txn, batch, cursor)
             fault_point(self.system.metrics, "nsf.insert_batch")
             highest = batch[-1]
@@ -217,6 +218,7 @@ class NSFIndexBuilder(BuilderBase):
         builder._install_context()
         install_maintenance(system, table)
         builder._resume_state = utility_state
+        builder._restore_throttle(utility_state)
         return builder
 
     def _prepare_resume(self):

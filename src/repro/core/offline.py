@@ -61,6 +61,7 @@ class OfflineIndexBuilder(BuilderBase):
                     loader.append(key[0], key[1])
                     loaded += 1
                     if loaded % 64 == 0:
+                        yield from self._throttle(64)
                         yield Delay(
                             64 * self.system.config.bulk_load_key_cost)
                 loader.finish()

@@ -197,6 +197,7 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
             since_checkpoint += 1
             since_yield += 1
             if since_yield >= 64:
+                yield from self._throttle(since_yield)
                 yield Delay(since_yield
                             * self.system.config.bulk_load_key_cost)
                 since_yield = 0
@@ -215,6 +216,7 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
                 since_checkpoint = 0
                 self.system.metrics.incr("build.load_checkpoints")
         if since_yield:
+            yield from self._throttle(since_yield)
             yield Delay(since_yield * self.system.config.bulk_load_key_cost)
         loader.finish()
         tree.force()
@@ -249,6 +251,7 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
             system.builds[table.name] = context
         builder.context = context
         builder._resume_state = utility_state
+        builder._restore_throttle(utility_state)
         return builder
 
     def _prepare_resume(self):

@@ -67,11 +67,16 @@ class SweepConfig:
     include_damage_kinds: bool = True
     max_plans: Optional[int] = None
     partitions: int = 2         # psf shard count (ignored by nsf/sf)
+    #: IB admission control (work items / time unit); None = unthrottled.
+    #: The throttle must be crash-transparent: every plan of a throttled
+    #: sweep recovers and audits exactly like the unthrottled sweep.
+    build_rate_limit: Optional[float] = None
 
     def system_config(self) -> SystemConfig:
         return SystemConfig(page_capacity=8, leaf_capacity=8,
                             buffer_frames=self.buffer_frames,
-                            sort_workspace=16, merge_fanin=4)
+                            sort_workspace=16, merge_fanin=4,
+                            build_rate_limit=self.build_rate_limit)
 
     def build_options(self) -> BuildOptions:
         return BuildOptions(
@@ -382,6 +387,9 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--max-hits-per-site", type=int, default=2)
     parser.add_argument("--max-plans", type=int, default=None)
+    parser.add_argument("--build-rate-limit", type=float, default=None,
+                        help="IB admission-control rate (work items per "
+                             "simulated time unit; default unthrottled)")
     parser.add_argument("--no-damage-kinds", action="store_true",
                         help="inject plain crashes only")
     parser.add_argument("--list-sites", action="store_true",
@@ -403,6 +411,7 @@ def main(argv: Optional[list] = None) -> int:
         max_hits_per_site=args.max_hits_per_site,
         include_damage_kinds=not args.no_damage_kinds,
         max_plans=args.max_plans,
+        build_rate_limit=args.build_rate_limit,
     )
     if args.list_sites:
         discovered = discover(config)

@@ -236,6 +236,9 @@ class ParallelSFBuilder(SFIndexBuilder):
                 break
             upto = min(page_no + self.prefetch_pages, limit)
             batch_ids = [table.page_id(p) for p in range(page_no, upto)]
+            # Shard workers share the coordinator's one bucket, so the
+            # build's *total* scan rate is limited, not each shard's.
+            yield from self._throttle(len(batch_ids))
             pages = yield from self.system.buffer.fetch_sequential(batch_ids)
             for page in pages:
                 yield Acquire(page.latch, SHARE)
@@ -375,6 +378,7 @@ class ParallelSFBuilder(SFIndexBuilder):
             system.builds[table.name] = context
         builder.context = context
         builder._resume_state = utility_state
+        builder._restore_throttle(utility_state)
         return builder
 
     def _prepare_resume(self):

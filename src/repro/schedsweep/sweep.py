@@ -75,11 +75,16 @@ class ScheduleConfig:
     checkpoint_every_pages: int = 8
     checkpoint_every_keys: int = 48
     commit_every_keys: int = 24
+    #: IB admission control (work items / time unit); None = unthrottled.
+    #: A throttled build's delays reshuffle ties, so every interleaving
+    #: the sweep explores must still pass the full oracle.
+    build_rate_limit: Optional[float] = None
 
     def system_config(self) -> SystemConfig:
         return SystemConfig(page_capacity=8, leaf_capacity=8,
                             buffer_frames=self.buffer_frames,
-                            sort_workspace=16, merge_fanin=4)
+                            sort_workspace=16, merge_fanin=4,
+                            build_rate_limit=self.build_rate_limit)
 
     def build_options(self) -> BuildOptions:
         return BuildOptions(
@@ -376,6 +381,9 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--preempt-prob", type=float, default=0.1)
     parser.add_argument("--max-preemptions", type=int, default=16)
+    parser.add_argument("--build-rate-limit", type=float, default=None,
+                        help="IB admission-control rate (work items per "
+                             "simulated time unit; default unthrottled)")
     parser.add_argument("--schedule-seed", type=int, default=None,
                         help="run exactly one seeded schedule and exit")
     parser.add_argument("--replay", default=None, metavar="CHOICES",
@@ -397,6 +405,7 @@ def main(argv: Optional[list] = None) -> int:
         partitions=args.partitions if args.partitions is not None else 2,
         preempt_prob=args.preempt_prob,
         max_preemptions=args.max_preemptions,
+        build_rate_limit=args.build_rate_limit,
     )
 
     if args.replay is not None or args.schedule_seed is not None:

@@ -21,7 +21,7 @@ from repro.errors import StorageError
 from repro.faultinject.injector import InjectedCrash
 from repro.faultinject.sites import fault_point
 from repro.metrics import MetricsRegistry
-from repro.sim.kernel import Delay
+from repro.sim.kernel import Acquire, Delay
 from repro.storage.disk import Disk
 from repro.storage.page import DataPage
 from repro.storage.rid import PageId
@@ -32,16 +32,44 @@ class BufferPool:
     """Page cache between processes and the :class:`Disk`."""
 
     def __init__(self, disk: Disk, log: LogManager, capacity: int = 256,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 sim=None, io=None) -> None:
         if capacity < 1:
             raise StorageError("buffer pool needs at least one frame")
         self.disk = disk
         self.log = log
         self.capacity = capacity
         self.metrics = metrics or MetricsRegistry()
+        #: shared-disk model: a :class:`repro.sim.semaphore.Semaphore`
+        #: every page I/O holds for its duration, or None for the
+        #: unlimited-bandwidth model (each I/O delays only its issuer)
+        self.io = io
+        self._sim = sim
         self._frames: "OrderedDict[PageId, DataPage]" = OrderedDict()
         #: dirty page table: page_id -> recovery LSN (first dirtying LSN)
         self.dirty: dict[PageId, int] = {}
+        #: victims whose eviction write is in flight (still resident so
+        #: concurrent fetches hit them; skipped by victim selection so
+        #: concurrent evictors don't duplicate the write)
+        self._evicting: set[PageId] = set()
+
+    def _charge_io(self, cost: float):
+        """Generator: pay ``cost`` simulated time of disk I/O.
+
+        With :attr:`io` set, the I/O holds one disk channel for its
+        duration so concurrent I/Os queue (the contention the SLO
+        tradeoff suite measures); otherwise a plain delay.
+        """
+        if cost <= 0:
+            return
+        if self.io is None:
+            yield Delay(cost)
+            return
+        yield Acquire(self.io, "X")
+        try:
+            yield Delay(cost)
+        finally:
+            self.io.release(self._sim.current if self._sim else None)
 
     # -- fetch paths ---------------------------------------------------------
 
@@ -56,7 +84,7 @@ class BufferPool:
         image = self.disk.read_page(page_id)
         if image is None:
             raise StorageError(f"page {page_id} does not exist on disk")
-        yield Delay(self.disk.read_cost(1))
+        yield from self._charge_io(self.disk.read_cost(1))
         yield from self._install(image)
         return image
 
@@ -70,7 +98,7 @@ class BufferPool:
         if missing:
             self.metrics.incr("buffer.misses", len(missing))
             self.metrics.incr("buffer.prefetches")
-            yield Delay(self.disk.read_cost(len(missing)))
+            yield from self._charge_io(self.disk.read_cost(len(missing)))
             for pid in missing:
                 image = self.disk.read_page(pid)
                 if image is None:
@@ -144,15 +172,19 @@ class BufferPool:
         if page is None or page_id not in self.dirty:
             return
         self.log.flush(page.page_lsn)
-        yield Delay(self.disk.write_cost(1))
+        yield from self._charge_io(self.disk.write_cost(1))
         kind = fault_point(self.metrics, "buffer.page_flush")
         if kind is not None:
             # lost-flush: the write never reaches the platter although the
             # pool's bookkeeping proceeds; power fails immediately after.
-            del self.dirty[page_id]
+            self.dirty.pop(page_id, None)
             raise InjectedCrash(f"lost page flush of {page_id}")
+        # Changes that landed during the write delay are part of the
+        # image we persist; re-force the log so the WAL rule holds for
+        # them too (no-op when nothing changed).
+        self.log.flush(page.page_lsn)
         self.disk.write_page(page)
-        del self.dirty[page_id]
+        self.dirty.pop(page_id, None)
         self.metrics.incr("buffer.page_flushes")
 
     def flush_all(self):
@@ -172,24 +204,47 @@ class BufferPool:
         return page
 
     def _evict_one(self):
-        for victim_id in self._frames:
-            break
-        else:  # pragma: no cover - guarded by capacity check
-            raise StorageError("buffer pool empty, nothing to evict")
-        victim = self._frames.pop(victim_id)
+        victim_id = None
+        for candidate in self._frames:
+            if candidate not in self._evicting:
+                victim_id = candidate
+                break
+        if victim_id is None:
+            # Every frame's eviction is already in flight (tiny pool,
+            # many concurrent installers); double up on the LRU head --
+            # the duplicate write is harmless, just not free.
+            for victim_id in self._frames:
+                break
+            else:  # pragma: no cover - guarded by capacity check
+                raise StorageError("buffer pool empty, nothing to evict")
+        victim = self._frames[victim_id]
         if victim_id in self.dirty:
-            # steal: write the (possibly uncommitted) page out, WAL first
-            self.log.flush(victim.page_lsn)
-            yield Delay(self.disk.write_cost(1))
-            kind = fault_point(self.metrics, "buffer.evict_dirty")
-            if kind is not None:
-                del self.dirty[victim_id]
-                raise InjectedCrash(f"lost eviction write of {victim_id}")
-            self.disk.write_page(victim)
-            del self.dirty[victim_id]
-            self.metrics.incr("buffer.evictions.dirty")
+            # steal: write the (possibly uncommitted) page out, WAL
+            # first.  The frame stays resident until the write lands:
+            # a page popped before its write I/O exists *nowhere* for
+            # the duration -- concurrent fetches would raise (or, via
+            # ensure_page, silently recreate it empty).
+            self._evicting.add(victim_id)
+            try:
+                self.log.flush(victim.page_lsn)
+                yield from self._charge_io(self.disk.write_cost(1))
+                kind = fault_point(self.metrics, "buffer.evict_dirty")
+                if kind is not None:
+                    self.dirty.pop(victim_id, None)
+                    self._frames.pop(victim_id, None)
+                    raise InjectedCrash(
+                        f"lost eviction write of {victim_id}")
+                # Changes that landed during the write delay are part of
+                # the image we persist; re-force the log for them (WAL).
+                self.log.flush(victim.page_lsn)
+                self.disk.write_page(victim)
+                self.dirty.pop(victim_id, None)
+                self.metrics.incr("buffer.evictions.dirty")
+            finally:
+                self._evicting.discard(victim_id)
         else:
             self.metrics.incr("buffer.evictions.clean")
+        self._frames.pop(victim_id, None)
 
     # -- crash modelling ----------------------------------------------------------
 
@@ -197,6 +252,7 @@ class BufferPool:
         """Lose all volatile state (frames and dirty table)."""
         self._frames.clear()
         self.dirty.clear()
+        self._evicting.clear()
 
     # -- introspection --------------------------------------------------------------
 

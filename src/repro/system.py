@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 from repro.errors import StorageError
 from repro.metrics import MetricsRegistry
 from repro.sim.kernel import Simulator
+from repro.sim.semaphore import Semaphore
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import Disk
 from repro.storage.table import Table
@@ -80,6 +81,19 @@ class SystemConfig:
     #: merge workers (:mod:`repro.parallel`); serial builders fold merge
     #: cost into ``bulk_load_key_cost`` via the pipelined final merge
     merge_key_cost: float = 0.02
+    #: IB admission control: maximum builder work items (pages scanned,
+    #: keys loaded/inserted, side-file entries drained) per simulated
+    #: time unit, shared across all of a build's processes (PSF shard
+    #: workers included).  ``None`` disables the throttle entirely --
+    #: the token bucket is never constructed and the schedule is
+    #: byte-identical to a pre-throttle build.
+    build_rate_limit: Optional[float] = None
+    #: shared-disk model: number of concurrent data-page I/Os the disk
+    #: serves; further I/Os queue FIFO.  ``None`` (default) keeps the
+    #: unlimited-bandwidth model where every I/O only delays its own
+    #: process -- byte-identical schedules to earlier builds.  The WAL
+    #: is modeled as its own device and is never gated by this.
+    disk_channels: Optional[int] = None
 
 
 class System:
@@ -100,9 +114,14 @@ class System:
         self.log = log if log is not None else LogManager(metrics=self.metrics)
         if log is not None:
             self.log.metrics = self.metrics
+        channels = self.config.disk_channels
+        self.io_channels = Semaphore("disk", channels,
+                                     metrics=self.metrics) \
+            if channels else None
         self.buffer = BufferPool(self.disk, self.log,
                                  capacity=self.config.buffer_frames,
-                                 metrics=self.metrics)
+                                 metrics=self.metrics,
+                                 sim=self.sim, io=self.io_channels)
         self.locks = LockManager(self.sim, metrics=self.metrics)
         self.txns = TransactionManager(self)
         self.tables: dict[str, Table] = {}

@@ -1,5 +1,19 @@
 """Workload generation for online index-build experiments."""
 
 from repro.workloads.generator import OpRecord, WorkloadDriver, WorkloadSpec
+from repro.workloads.openloop import (
+    OpenLoopDriver,
+    OpenLoopSpec,
+    ZipfSampler,
+    arrival_schedule,
+)
 
-__all__ = ["OpRecord", "WorkloadDriver", "WorkloadSpec"]
+__all__ = [
+    "OpRecord",
+    "OpenLoopDriver",
+    "OpenLoopSpec",
+    "WorkloadDriver",
+    "WorkloadSpec",
+    "ZipfSampler",
+    "arrival_schedule",
+]

@@ -62,6 +62,15 @@ class OpRecord:
     op: str
     worker: int
     outcome: str  # "committed", "rolledback", "aborted"
+    #: simulated time the operation was issued (transaction begin);
+    #: -1.0 for records from callers predating the field, so existing
+    #: 4-positional construction stays valid
+    issued: float = -1.0
+
+    @property
+    def latency(self) -> float:
+        """Issue-to-completion latency (0.0 when issue time unknown)."""
+        return self.time - self.issued if self.issued >= 0 else 0.0
 
 
 class WorkloadDriver:
@@ -114,6 +123,7 @@ class WorkloadDriver:
         return self.ops_done
 
     def _one_transaction(self, rng, worker_id: int, op: str):
+        issued = self.system.sim.now
         txn = self.system.txns.begin(f"w{worker_id}")
         claimed: Optional[tuple[RID, int]] = None
         try:
@@ -145,7 +155,7 @@ class WorkloadDriver:
             if op != "noop" and rng.random() < self.spec.rollback_fraction:
                 yield from txn.rollback()
                 self._unclaim(claimed)
-                self._record(op, worker_id, "rolledback")
+                self._record(op, worker_id, "rolledback", issued=issued)
             else:
                 yield from txn.commit()
                 if op == "delete" and claimed is not None:
@@ -154,11 +164,11 @@ class WorkloadDriver:
                     self.pool[claimed[0]] = pending[1]
                 elif op == "insert" and pending is not None:
                     self.pool[pending[0]] = pending[1]
-                self._record(op, worker_id, "committed")
+                self._record(op, worker_id, "committed", issued=issued)
         except TransactionAborted:
             yield from txn.rollback()
             self._unclaim(claimed)
-            self._record(op, worker_id, "aborted")
+            self._record(op, worker_id, "aborted", issued=issued)
 
     # -- helpers ---------------------------------------------------------------------
 
@@ -180,10 +190,11 @@ class WorkloadDriver:
             return int(space * (rng.random() ** 3))
         return rng.randrange(space)
 
-    def _record(self, op: str, worker_id: int, outcome: str) -> None:
+    def _record(self, op: str, worker_id: int, outcome: str,
+                issued: float = -1.0) -> None:
         self.op_timeline.append(OpRecord(
             time=self.system.sim.now, op=op, worker=worker_id,
-            outcome=outcome))
+            outcome=outcome, issued=issued))
         if outcome == "committed":
             self.ops_done += 1
         self.system.metrics.incr(f"workload.{outcome}")

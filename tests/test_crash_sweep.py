@@ -113,3 +113,19 @@ def test_sweep_catches_a_broken_checkpoint(monkeypatch):
     report = run_sweep(config)
     assert report.failures, \
         "sweep failed to detect checkpoints that skip the tree force"
+
+
+@pytest.mark.parametrize("builder,extra", [
+    ("sf", {}), ("psf", {"partitions": 2}),
+])
+def test_throttled_sweep_all_plans_recover(builder, extra):
+    """A rate-limited build must survive the same crash census: the
+    token bucket is volatile, but the checkpointed rate re-arms the
+    throttle across restart, and the extra throttle delays shift every
+    fault site without breaking recovery."""
+    config = _small_config(builder, max_hits_per_site=1,
+                           build_rate_limit=25.0, **extra)
+    report = run_sweep(config)
+    assert report.results, "sweep enumerated no plans"
+    assert report.all_passed, report.to_text()
+    assert all(r.fired for r in report.results), report.to_text()

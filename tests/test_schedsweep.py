@@ -339,3 +339,21 @@ def test_schedule_dump_contains_repro_recipe():
     assert "python -m repro.schedsweep" in text
     assert "--replay" in text
     assert f"--records {SMALL.records}" in text
+
+
+@pytest.mark.parametrize("builder,partitions", [("sf", 1), ("psf", 2)])
+def test_throttled_seeded_schedule_passes_and_replays(builder, partitions):
+    """Schedule exploration with the IB throttle armed: the extra
+    token-bucket delays reshape the schedule, but every explored
+    interleaving must still audit clean and replay exactly."""
+    import dataclasses
+    config = dataclasses.replace(SMALL, builder=builder,
+                                 partitions=partitions,
+                                 build_rate_limit=25.0)
+    seeded = run_plan(config, SchedulePlan(schedule_seed=7))
+    assert seeded.passed, seeded.detail
+    replayed = run_plan(config, SchedulePlan(schedule_seed=7,
+                                             choices=seeded.choices))
+    assert replayed.passed, replayed.detail
+    assert replayed.sim_time == seeded.sim_time
+    assert replayed.choices == seeded.choices

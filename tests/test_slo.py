@@ -1,0 +1,299 @@
+"""Latency-oracle tests: exact percentile math on hand-built traces,
+the report's window/outcome filters, the tradeoff suite's schema and
+gates (including a tampered payload tripping them), and the analyzer
+CLI round trip."""
+
+import json
+
+import pytest
+
+from repro.slo import latency_report, parse_trace, percentile, \
+    queue_high_water
+from repro.slo.analyzer import op_latencies
+from repro.slo import tradeoff
+from repro.slo.__main__ import main as slo_main
+
+
+# -- hand-built traces -------------------------------------------------------
+
+
+def _span(span_id, t0, t1, op="read", outcome="committed"):
+    """One completed ``op`` span as the recorder would emit it."""
+    return [
+        {"kind": "span_begin", "name": "op", "span": span_id, "t": t0,
+         "attrs": {"op": op, "id": span_id}},
+        {"kind": "span_end", "name": "op", "span": span_id, "t": t1,
+         "attrs": {"outcome": outcome}},
+    ]
+
+
+def _trace(*spans):
+    events = []
+    for span in spans:
+        events.extend(span)
+    events.sort(key=lambda e: e["t"])
+    return events
+
+
+# -- percentile math ---------------------------------------------------------
+
+
+def test_nearest_rank_percentiles_are_exact():
+    one_to_ten = [float(v) for v in range(1, 11)]
+    assert percentile(one_to_ten, 50) == 5.0
+    assert percentile(one_to_ten, 95) == 10.0
+    assert percentile(one_to_ten, 100) == 10.0
+    assert percentile(one_to_ten, 1) == 1.0
+    one_to_hundred = [float(v) for v in range(1, 101)]
+    assert percentile(one_to_hundred, 99) == 99.0
+    assert percentile(one_to_hundred, 50) == 50.0
+    # unsorted input, single element
+    assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_percentile_rejects_empty_and_bad_q():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    for bad_q in (0.0, -1.0, 101.0):
+        with pytest.raises(ValueError):
+            percentile([1.0], bad_q)
+
+
+# -- span pairing and the report ---------------------------------------------
+
+
+def test_crash_cut_spans_are_excluded_not_zero():
+    events = _trace(_span(1, 0.0, 4.0), _span(2, 1.0, 3.0))
+    events.append({"kind": "span_begin", "name": "op", "span": 3,
+                   "t": 2.0, "attrs": {"op": "update", "id": 3}})
+    pairs, excluded = op_latencies(events)
+    assert sorted(latency for latency, _b, _e in pairs) == [2.0, 4.0]
+    assert excluded == 1
+    report = latency_report(events)
+    assert report["ops"] == 2
+    assert report["excluded"] == 1
+    assert report["p50"] == 2.0 and report["max"] == 4.0
+
+
+def test_report_filters_outcomes_and_windows():
+    events = _trace(
+        _span(1, 0.0, 1.0),                        # committed, in window
+        _span(2, 5.0, 105.0, op="update"),         # committed, in window
+        _span(3, 8.0, 9.0, outcome="aborted"),     # dropped by outcome
+        _span(4, 50.0, 51.0),                      # issued past window
+    )
+    report = latency_report(events, window=(0.0, 10.0))
+    assert report["ops"] == 2
+    assert report["dropped"] == 1
+    # span 2 completes outside the window but was ISSUED inside it, so
+    # its full latency counts -- the property that keeps a build-window
+    # report honest about operations the build delayed past its end
+    assert report["max"] == 100.0
+    assert sorted(report["by_op"]) == ["read", "update"]
+    everything = latency_report(events, only_outcome=None)
+    assert everything["ops"] == 4 and everything["dropped"] == 0
+
+
+def test_report_raises_on_empty_population():
+    with pytest.raises(ValueError):
+        latency_report(_trace(_span(1, 0.0, 1.0)), window=(50.0, 60.0))
+
+
+def test_queue_high_water_respects_window():
+    events = [
+        {"kind": "gauge", "name": "openloop.inflight", "t": 1.0,
+         "value": 3},
+        {"kind": "gauge", "name": "openloop.inflight", "t": 5.0,
+         "value": 9},
+        {"kind": "gauge", "name": "other.gauge", "t": 5.0, "value": 99},
+    ]
+    assert queue_high_water(events) == 9
+    assert queue_high_water(events, window=(0.0, 2.0)) == 3
+    assert queue_high_water([]) == 0
+
+
+def test_parse_trace_drops_the_meta_line():
+    text = "\n".join([
+        json.dumps({"kind": "meta", "schema": 1, "events": 1}),
+        json.dumps({"kind": "gauge", "name": "openloop.inflight",
+                    "t": 0.0, "value": 2}),
+        "",
+    ])
+    events = parse_trace(text)
+    assert len(events) == 1 and events[0]["kind"] == "gauge"
+
+
+# -- synthetic stall trips the gate ------------------------------------------
+
+
+def test_injected_stall_moves_the_tail_not_the_median():
+    """A single stalled operation must surface in p99/max while leaving
+    p50 untouched -- the property the tradeoff suite's p99 gate relies
+    on to catch an unthrottled build's interference."""
+    healthy = [_span(i, float(i), float(i) + 2.0) for i in range(50)]
+    baseline = latency_report(_trace(*healthy))
+    stalled = healthy + [_span(50, 50.0, 50.0 + 500.0)]
+    report = latency_report(_trace(*stalled))
+    assert baseline["p99"] == 2.0
+    assert report["p50"] == baseline["p50"] == 2.0
+    assert report["p99"] == 500.0 and report["max"] == 500.0
+
+
+# -- tradeoff suite: schema and gates ----------------------------------------
+
+
+def _fake_payload(mode="smoke", baseline_p99=20.0, tight_p99=None,
+                  build_times=None):
+    """A structurally valid payload with controllable gate inputs."""
+    rates = tradeoff.SMOKE_RATES if mode == "smoke" else tradeoff.FULL_RATES
+    if build_times is None:
+        build_times = [100.0 * (3 ** i) for i in range(len(rates))]
+    if tight_p99 is None:
+        tight_p99 = baseline_p99
+
+    def latency(p99):
+        return {"ops": 150, "p50": p99 / 4, "p95": p99 * 0.9, "p99": p99,
+                "max": p99 * 1.5, "mean": p99 / 3, "excluded": 0,
+                "dropped": 0, "queue_high_water": 2, "by_op": {}}
+
+    scenarios = [{"name": "baseline", "kind": "baseline", "ok": True,
+                  "params": {}, "latency": latency(baseline_p99)}]
+    for builder in tradeoff.BUILDERS:
+        for i, rate in enumerate(rates):
+            tightest = i == len(rates) - 1
+            p99 = tight_p99 if tightest else baseline_p99 * 2.0
+            scenarios.append({
+                "name": f"tradeoff/{builder}/"
+                        f"rate_{tradeoff.rate_label(rate)}",
+                "kind": "build", "ok": True, "params": {},
+                "build_time": build_times[i],
+                "latency": latency(p99)})
+    return {"schema_version": tradeoff.SCHEMA_VERSION,
+            "suite": tradeoff.SUITE_NAME, "mode": mode,
+            "python": "3", "p99_protection_factor":
+                tradeoff.P99_PROTECTION_FACTOR,
+            "scenarios": scenarios}
+
+
+def test_fake_payload_passes_all_gates():
+    assert tradeoff.check_payload(_fake_payload()) == []
+
+
+def test_validate_payload_catches_structural_problems():
+    payload = _fake_payload()
+    payload["schema_version"] = 99
+    payload["scenarios"][1]["latency"].pop("p99")
+    payload["scenarios"].append(dict(payload["scenarios"][2]))
+    problems = tradeoff.validate_payload(payload)
+    assert any("schema_version" in p for p in problems)
+    assert any("malformed latency" in p for p in problems)
+    assert any("duplicate" in p for p in problems)
+
+
+def test_validate_payload_catches_missing_scenarios():
+    payload = _fake_payload()
+    payload["scenarios"] = [s for s in payload["scenarios"]
+                            if not s["name"].startswith("tradeoff/sf/")]
+    problems = tradeoff.validate_payload(payload)
+    assert any("tradeoff/sf/" in p and "missing" in p for p in problems)
+
+
+def test_gate_trips_on_non_monotone_build_time():
+    payload = _fake_payload(build_times=[500.0, 100.0])
+    problems = tradeoff.check_payload(payload)
+    assert any("build_time fell" in p for p in problems)
+    flat = _fake_payload(build_times=[100.0, 100.0])
+    assert any("not throttling" in p
+               for p in tradeoff.check_payload(flat))
+
+
+def test_gate_trips_on_unprotected_p99():
+    """Tamper: a synthetic stall pushes the tightest-throttle p99 past
+    the protection ceiling -- the gate must trip for online builders."""
+    payload = _fake_payload(baseline_p99=20.0, tight_p99=100.0)
+    problems = tradeoff.check_payload(payload)
+    for builder in tradeoff.ONLINE_BUILDERS:
+        assert any(p.startswith(builder) and "exceeds" in p
+                   for p in problems), problems
+    # offline is excluded from the p99 gate by design
+    assert not any(p.startswith("offline") for p in problems)
+
+
+def test_check_payload_flags_drift_against_reference():
+    reference = _fake_payload()
+    payload = _fake_payload()
+    row = tradeoff.find_scenario(payload, "tradeoff/nsf/rate_0.05")
+    row["build_time"] *= 2.0
+    problems = tradeoff.check_payload(payload, reference,
+                                      max_regression=0.30)
+    assert any("tradeoff/nsf/rate_0.05" in p and "drifted" in p
+               for p in problems)
+    # within tolerance passes
+    row["build_time"] /= 2.0
+    row["latency"]["p99"] *= 1.1
+    assert tradeoff.check_payload(payload, reference,
+                                  max_regression=0.30) == []
+
+
+def test_check_payload_reports_failed_scenarios():
+    payload = _fake_payload()
+    payload["scenarios"][3] = {"name": payload["scenarios"][3]["name"],
+                               "kind": "build", "ok": False,
+                               "error": "ValueError: boom"}
+    problems = tradeoff.check_payload(payload)
+    assert any("boom" in p for p in problems)
+
+
+def test_rate_label_is_stable():
+    assert tradeoff.rate_label(None) == "none"
+    assert tradeoff.rate_label(0.05) == "0.05"
+    assert tradeoff.rate_label(0.4) == "0.4"
+
+
+# -- one real (reduced) traffic run ------------------------------------------
+
+
+def test_run_traffic_emits_a_complete_scenario(monkeypatch):
+    small = dict(tradeoff.PARAMS)
+    small.update(rows=60, operations=30, key_space=400)
+    monkeypatch.setattr(tradeoff, "PARAMS", small)
+    baseline = tradeoff._run_traffic(None, None)
+    assert "build_time" not in baseline
+    assert baseline["latency"]["ops"] > 0
+    scenario = tradeoff._run_traffic("sf", 1.0)
+    assert scenario["build_time"] > 0
+    assert scenario["params"]["builder"] == "sf"
+    assert scenario["params"]["build_rate_limit"] == 1.0
+    assert scenario["window"][1] > scenario["window"][0]
+    assert scenario["counters"].get("build.throttle_charges", 0) > 0
+    assert scenario["latency"]["ops"] > 0
+
+
+# -- analyzer CLI ------------------------------------------------------------
+
+
+def test_slo_cli_round_trip(tmp_path, capsys):
+    from repro.obs import TraceRecorder
+    from repro.sim import Simulator
+
+    recorder = TraceRecorder()
+    sim = Simulator()
+    recorder.bind(sim)
+
+    def traffic():
+        for latency in (1.0, 2.0, 3.0, 4.0):
+            span = recorder.begin_span("op", op="read", id=int(latency))
+            yield __import__("repro.sim", fromlist=["Delay"]).Delay(latency)
+            recorder.end_span(span, outcome="committed")
+
+    sim.spawn(traffic(), name="traffic")
+    sim.run()
+    path = tmp_path / "trace.jsonl"
+    recorder.write_jsonl(str(path))
+    assert slo_main([str(path)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ops"] == 4
+    assert report["p50"] == 2.0 and report["max"] == 4.0
+    # window that excludes everything -> clean error, exit 1
+    assert slo_main([str(path), "--window", "100", "200"]) == 1

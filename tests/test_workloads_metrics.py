@@ -128,3 +128,15 @@ def test_longest_stall_zero_without_commits():
     driver = WorkloadDriver(system, table, WorkloadSpec(operations=0))
     assert driver.longest_stall() == 0.0
     assert driver.throughput_series(5.0) == []
+
+
+def test_op_timeline_records_issue_timestamps():
+    """Every timeline record carries the instant its transaction was
+    *issued*, not just when it finished -- the regression that hid
+    queueing delay from latency analysis (latency = time - issued)."""
+    _system, _table, driver = run_workload(seed=11)
+    assert driver.op_timeline
+    for record in driver.op_timeline:
+        assert record.issued >= 0.0
+        assert record.issued <= record.time
+        assert record.latency == pytest.approx(record.time - record.issued)
