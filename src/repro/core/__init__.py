@@ -19,6 +19,7 @@ from repro.core.descriptor import IndexDescriptor, IndexState
 from repro.core.maintenance import (
     BuildContext,
     IndexMaintenance,
+    MULTI_MODE,
     NSF_MODE,
     OFFLINE_MODE,
     PSF_MODE,
@@ -40,28 +41,27 @@ BUILDERS = {
 }
 
 #: builders resumable from a utility checkpoint
-RESUMABLE_MODES = ("nsf", "sf", "psf")
+RESUMABLE_MODES = ("nsf", "sf", "psf", "multi")
 
 
 def get_builder(mode: str):
     """Builder class for ``mode``, including the lazily imported ones.
 
-    ``repro.parallel`` imports ``repro.core``; resolving "psf" lazily
-    here (instead of registering it in :data:`BUILDERS` at import time)
-    keeps the dependency one-directional.
+    ``repro.parallel`` / ``repro.multibuild`` import ``repro.core``;
+    resolving "psf" and "multi" lazily here (instead of registering them
+    in :data:`BUILDERS` at import time) keeps the dependency
+    one-directional.
     """
     if mode == "psf":
         from repro.parallel import ParallelSFBuilder
         return ParallelSFBuilder
+    if mode == "multi":
+        from repro.multibuild import MultiIndexBuilder
+        return MultiIndexBuilder
     return BUILDERS[mode]
 
 
-def build_pre_undo(system: "System", utility_state: dict) -> None:
-    """Recovery hook reinstalling build context before the undo pass.
-
-    Pass this as ``pre_undo`` to :func:`repro.recovery.restart.restart`
-    whenever an index build might have been interrupted.
-    """
+def _dispatch_pre_undo(system: "System", utility_state: dict) -> None:
     builder = utility_state.get("builder")
     if builder == "sf":
         sf_pre_undo(system, utility_state)
@@ -70,6 +70,25 @@ def build_pre_undo(system: "System", utility_state: dict) -> None:
     elif builder == "psf":
         from repro.parallel import psf_pre_undo
         psf_pre_undo(system, utility_state)
+    elif builder == "multi":
+        from repro.multibuild import multi_pre_undo
+        multi_pre_undo(system, utility_state)
+
+
+def build_pre_undo(system: "System", utility_state: dict) -> None:
+    """Recovery hook reinstalling build context before the undo pass.
+
+    Pass this as ``pre_undo`` to :func:`repro.recovery.restart.restart`
+    whenever an index build might have been interrupted.  When the
+    surviving checkpoint recorded several concurrent builds
+    (``system.utility_states``, one entry per table), every one of them
+    gets its context back -- Figure 2's visibility classification must
+    hold for losers touching any of the tables.
+    """
+    states = list(getattr(system, "utility_states", {}).values()) \
+        or [utility_state]
+    for state in states:
+        _dispatch_pre_undo(system, state)
 
 
 def resume_build(system: "System", utility_state: dict
@@ -88,6 +107,29 @@ def resume_build(system: "System", utility_state: dict
     return builder_cls.resume(system, utility_state)
 
 
+def resume_builds(system: "System",
+                  utility_state: Optional[dict] = None) -> list:
+    """Resume every interrupted build the latest checkpoint recorded.
+
+    Concurrent builds (one per table) each checkpoint their own payload;
+    :func:`repro.recovery.restart.restart` collects the whole registry
+    into ``system.utility_states``.  Returns the resumed builders in
+    table-name order (spawn each one's ``run()``).  Falls back to the
+    single ``utility_state`` for pre-registry checkpoints.
+    """
+    states = dict(getattr(system, "utility_states", {}) or {})
+    if not states and utility_state:
+        name = utility_state.get("table")
+        if name:
+            states[name] = utility_state
+    builders = []
+    for name in sorted(states):
+        builder = resume_build(system, states[name])
+        if builder is not None:
+            builders.append(builder)
+    return builders
+
+
 __all__ = [
     "BUILDERS",
     "BuildContext",
@@ -97,6 +139,7 @@ __all__ = [
     "IndexMaintenance",
     "IndexSpec",
     "IndexState",
+    "MULTI_MODE",
     "NSFIndexBuilder",
     "NSF_MODE",
     "OFFLINE_MODE",
@@ -112,4 +155,5 @@ __all__ = [
     "cleanup_pseudo_deleted",
     "install_maintenance",
     "resume_build",
+    "resume_builds",
 ]

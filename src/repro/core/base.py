@@ -116,12 +116,20 @@ class BuilderBase:
         self._trace_spans: dict[str, int] = {}
         #: wal.bytes counter at span begin, for per-phase WAL volume
         self._trace_wal: dict[str, int] = {}
-        #: IB admission control: one bucket shared by every process of
-        #: this build (coordinator, readers, PSF shards), so the *total*
-        #: build rate is bounded.  None when unthrottled.
+        #: IB admission control: the *system's* bucket, shared by every
+        #: process of this build (coordinator, readers, PSF shards) AND
+        #: by any concurrent builds -- ``build_rate_limit`` bounds the
+        #: aggregate utility rate (K builds each with a private bucket
+        #: would admit K times the limit).  None when unthrottled.
         limit = system.config.build_rate_limit
         self._rate_bucket: Optional[TokenBucket] = \
-            TokenBucket(system.sim, limit) if limit else None
+            system.build_bucket(limit) if limit else None
+        #: per-build throttle metric names ("+"-joined index names), so
+        #: two concurrent throttled builds' charges stay attributable;
+        #: the unsuffixed totals remain for existing dashboards/benches
+        label = "+".join(spec.name for spec in self.specs)
+        self._throttle_charges_metric = f"build.throttle_charges.{label}"
+        self._throttle_waits_metric = f"build.throttle_waits.{label}"
 
     # -- option resolution -------------------------------------------------
 
@@ -206,11 +214,13 @@ class BuilderBase:
         if bucket is None or cost <= 0:
             return
         self.system.metrics.incr("build.throttle_charges")
+        self.system.metrics.incr(self._throttle_charges_metric)
         before = self.system.sim.now
         yield from bucket.acquire(cost)
         waited = self.system.sim.now - before
         if waited > 0:
             self.system.metrics.incr("build.throttle_waits")
+            self.system.metrics.incr(self._throttle_waits_metric)
             self.system.metrics.observe("build.throttle_wait_time", waited)
 
     def _restore_throttle(self, utility_state: dict) -> None:
@@ -225,7 +235,7 @@ class BuilderBase:
         """
         rate = utility_state.get("build_rate_limit")
         if rate and self._rate_bucket is None:
-            self._rate_bucket = TokenBucket(self.system.sim, rate)
+            self._rate_bucket = self.system.build_bucket(rate)
 
     # -- the shared data scan (generator) ----------------------------------------------
 
@@ -421,10 +431,24 @@ class BuilderBase:
             payload["index_build"] = self.context.index_build
             if self.context.frontier is not None:
                 payload["frontier"] = self.context.frontier.to_manifest()
+        # Concurrent-build registry: each build parks its latest payload
+        # under its table name so one build's checkpoint cannot clobber
+        # another's resume state.  The registry rides in the checkpoint
+        # record only while *other* builds are live -- single-build
+        # checkpoints stay byte-identical to the pre-registry format.
+        registry = self.system.utility_states
+        if payload.get("phase") == "done":
+            registry.pop(self.table.name, None)
+        else:
+            registry[self.table.name] = payload
+        others = any(name != self.table.name for name in registry)
         self.system.log.write_checkpoint(
             _txn_table_snapshot(self.system),
             dict(self.system.buffer.dirty),
             payload,
+            utility_states={name: dict(state)
+                            for name, state in registry.items()}
+            if others else None,
         )
         self.system.metrics.incr("build.utility_checkpoints")
         fault_point(self.system.metrics, "build.checkpoint.after")

@@ -42,13 +42,16 @@ if TYPE_CHECKING:  # pragma: no cover
 NSF_MODE = "nsf"
 SF_MODE = "sf"
 PSF_MODE = "psf"
+MULTI_MODE = "multi"
 OFFLINE_MODE = "offline"
 
 #: Modes that route maintenance through a side-file.  PSF (the partitioned
 #: parallel build, :mod:`repro.parallel`) is SF with a frontier *vector*
-#: instead of a single Current-RID; the Figure 1 / Figure 2 logic is
-#: otherwise identical.
-SF_LIKE_MODES = (SF_MODE, PSF_MODE)
+#: instead of a single Current-RID; MULTI (:mod:`repro.multibuild`) is SF
+#: building K indexes from the one scan (section 6.2), each with its own
+#: side-file and flag flip; the Figure 1 / Figure 2 logic is otherwise
+#: identical.
+SF_LIKE_MODES = (SF_MODE, PSF_MODE, MULTI_MODE)
 
 
 @dataclass

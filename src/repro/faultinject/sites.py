@@ -105,6 +105,13 @@ SITE_DOCS = {
     "sf.drain_checkpoint": "SF drain checkpoint about to be taken",
     "sf.flag_flip.before": "side-file drained, flag flip not yet done",
     "sf.flag_flip.after": "Index_Build flag just flipped to AVAILABLE",
+    # multibuild (K indexes, one scan, section 6.2)
+    "multibuild.scan_done":
+        "shared scan/sort finished; per-index manifest about to start",
+    "multibuild.index_loaded":
+        "one index's bottom-up load finished, its drain not yet started",
+    "multibuild.index_done":
+        "one index flipped AVAILABLE and its manifest entry checkpointed",
     # PSF (partitioned parallel) builder
     "psf.descriptor_done":
         "PSF descriptors + side-files + frontier vector installed",

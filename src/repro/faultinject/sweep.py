@@ -49,6 +49,22 @@ from repro.workloads import WorkloadDriver, WorkloadSpec
 
 INDEX_NAME = "idx"
 
+#: the K=3 spec set used by ``--builder multi`` (section 6.2): two
+#: single-column indexes plus a composite, so the sweep crosses every
+#: per-index pipeline boundary (load/drain/flip) of the shared scan
+MULTI_SPECS = (
+    IndexSpec.of("idx", ["k"]),
+    IndexSpec.of("idx2", ["p"]),
+    IndexSpec.of("idx3", ["k", "p"]),
+)
+
+
+def _index_specs(builder: str) -> list:
+    """The index specs one sweep builds: K=3 for multi, else one."""
+    if builder == "multi":
+        return list(MULTI_SPECS)
+    return [IndexSpec.of(INDEX_NAME, ["k"])]
+
 
 @dataclass(frozen=True)
 class SweepConfig:
@@ -199,7 +215,7 @@ def _start_build(config: SweepConfig,
     if injector is not None:
         injector.install(system)
     builder_cls = get_builder(config.builder)
-    builder = builder_cls(system, table, IndexSpec.of(INDEX_NAME, ["k"]),
+    builder = builder_cls(system, table, _index_specs(config.builder),
                           options=config.build_options())
     proc = system.spawn(builder.run(), name="builder")
     driver.spawn_workers()
@@ -219,12 +235,14 @@ def discover(config: SweepConfig, tracer=None) -> dict:
         raise proc.error
     if system.sim.crashed:  # pragma: no cover - nothing armed
         raise RuntimeError("clean discovery run crashed")
-    audit_index(system, system.indexes[INDEX_NAME])
+    for spec in _index_specs(config.builder):
+        audit_index(system, system.indexes[spec.name])
     return dict(injector.hits)
 
 
 def _recover_and_audit(config: SweepConfig, system: System) -> str:
     """Restart, resume (or re-issue) the build, audit; '' or failure text."""
+    specs = _index_specs(config.builder)
     recovered, state = restart(system, pre_undo=build_pre_undo)
     resumed = resume_build(recovered, state)
     if resumed is not None:
@@ -232,24 +250,25 @@ def _recover_and_audit(config: SweepConfig, system: System) -> str:
         recovered.run()
         if proc.error is not None:
             raise proc.error
-    if INDEX_NAME not in recovered.indexes:
+    if any(spec.name not in recovered.indexes for spec in specs):
         # The crash landed before the build's first checkpoint: the
-        # orphaned descriptor was discarded and the build is simply
+        # orphaned descriptors were discarded and the build is simply
         # reissued from scratch (the documented contract).
         rebuild_cls = get_builder(config.builder)
         table = recovered.tables["t"]
-        rebuilder = rebuild_cls(recovered, table,
-                                IndexSpec.of(INDEX_NAME, ["k"]),
+        rebuilder = rebuild_cls(recovered, table, list(specs),
                                 options=config.build_options())
         proc = recovered.spawn(rebuilder.run(), name="resumed")
         recovered.run()
         if proc.error is not None:
             raise proc.error
-    descriptor = recovered.indexes[INDEX_NAME]
     from repro.core.descriptor import IndexState
-    if descriptor.state is not IndexState.AVAILABLE:
-        return f"index state {descriptor.state!r} after resume"
-    audit_index(recovered, descriptor)
+    for spec in specs:
+        descriptor = recovered.indexes[spec.name]
+        if descriptor.state is not IndexState.AVAILABLE:
+            return (f"index {spec.name} state {descriptor.state!r} "
+                    f"after resume")
+        audit_index(recovered, descriptor)
     return ""
 
 
@@ -279,7 +298,8 @@ def run_plan(config: SweepConfig, plan: FaultPlan) -> PlanResult:
             result.trace = recorder.to_jsonl()
             return result
         try:
-            audit_index(system, system.indexes[INDEX_NAME])
+            for spec in _index_specs(config.builder):
+                audit_index(system, system.indexes[spec.name])
         except Exception as exc:  # noqa: BLE001 - report, don't mask
             result.detail = f"did not fire; audit failed: {exc!r}"
             result.trace = recorder.to_jsonl()
@@ -378,7 +398,7 @@ def main(argv: Optional[list] = None) -> int:
         description="Crash-sweep a seeded online index build: inject one "
                     "fault per (site, hit) pair and prove restart "
                     "recovery + audit.")
-    parser.add_argument("--builder", choices=("nsf", "sf", "psf"),
+    parser.add_argument("--builder", choices=("nsf", "sf", "psf", "multi"),
                         default="sf")
     parser.add_argument("--partitions", type=int, default=2,
                         help="psf shard count (ignored by nsf/sf)")

@@ -1,0 +1,22 @@
+"""Multi-index single-scan online builds (the paper's section 6.2).
+
+* :class:`MultiIndexBuilder` -- K indexes from one scan, SF discipline,
+  each index flipping AVAILABLE as soon as its own drain completes;
+* :func:`multi_build` -- discipline dispatch (SF pipeline or NSF's
+  directly-maintained K-spec build) for one shared scan;
+* :func:`multi_pre_undo` -- recovery hook (Figure 2 context reinstall);
+* ``python -m repro.multibuild.bench`` -- the K-sweep showing one shared
+  scan beating K sequential builds (committed as ``BENCH_PR7.json``).
+"""
+
+from repro.multibuild.builder import (
+    MultiIndexBuilder,
+    multi_build,
+    multi_pre_undo,
+)
+
+__all__ = [
+    "MultiIndexBuilder",
+    "multi_build",
+    "multi_pre_undo",
+]

@@ -61,6 +61,8 @@ def restart(crashed: System, config: Optional[SystemConfig] = None,
     checkpoint = system.log.latest_checkpoint()
     utility_state = dict(checkpoint.info.get("utility_state", {})) \
         if checkpoint is not None else {}
+    system.utility_states = _collect_utility_states(checkpoint,
+                                                    utility_state)
     _discard_orphan_builds(system, utility_state)
 
     txn_table, redo_start = _analysis(system, checkpoint)
@@ -79,6 +81,35 @@ def restart(crashed: System, config: Optional[SystemConfig] = None,
     _recover_page_counts(system)
     system.metrics.incr("recovery.restarts")
     return system, utility_state
+
+
+def _collect_utility_states(checkpoint, utility_state: dict) -> dict:
+    """Rebuild the per-table build registry from the checkpoint.
+
+    Concurrent builds mirror the whole registry into each checkpoint
+    record (``utility_states``); older or single-build records carry
+    only the writer's own payload, which becomes a one-entry registry.
+    Finished ("done") builds need no resume and are dropped.
+    """
+    states: dict[str, dict] = {}
+    raw = checkpoint.info.get("utility_states") \
+        if checkpoint is not None else None
+    if raw:
+        states = {name: dict(state) for name, state in raw.items()
+                  if state.get("phase") != "done"}
+    name = utility_state.get("table")
+    if name and utility_state.get("phase") != "done" \
+            and name not in states:
+        states[name] = utility_state
+    return states
+
+
+def _known_build_indexes(system: System, utility_state: dict) -> set:
+    """Index names recorded by *any* build in the surviving checkpoint."""
+    known = set(utility_state.get("indexes", []))
+    for state in getattr(system, "utility_states", {}).values():
+        known.update(state.get("indexes", []))
+    return known
 
 
 # -- catalog ------------------------------------------------------------------
@@ -133,7 +164,7 @@ def _discard_orphan_builds(system: System, utility_state: dict) -> None:
     """
     from repro.core.descriptor import IndexState  # lazy: avoid cycle
 
-    known = set(utility_state.get("indexes", []))
+    known = _known_build_indexes(system, utility_state)
     for name, descriptor in list(system.indexes.items()):
         if descriptor.state is not IndexState.BUILDING or name in known:
             continue
@@ -160,6 +191,9 @@ def _plan_damaged_trees(system: System, utility_state: dict,
 
     sf_indexes = set(utility_state.get("indexes", [])) \
         if utility_state.get("builder") in SF_LIKE_MODES else set()
+    for state in getattr(system, "utility_states", {}).values():
+        if state.get("builder") in SF_LIKE_MODES:
+            sf_indexes.update(state.get("indexes", []))
     for name, descriptor in system.indexes.items():
         tree = descriptor.tree
         if not tree.media_damaged:

@@ -35,8 +35,15 @@ _OUTCOMES = ("committed", "rolledback", "aborted")
 
 
 def check_run(system: "System", driver: "WorkloadDriver",
-              builder_proc: "Process", index_name: str = "idx") -> str:
-    """Apply the full oracle; returns '' when clean, else failure text."""
+              builder_proc: "Process", index_name: str = "idx",
+              index_names=None) -> str:
+    """Apply the full oracle; returns '' when clean, else failure text.
+
+    ``index_names`` (a sequence) checks several indexes built by one
+    utility run -- the multi-index shared-scan build (section 6.2) must
+    satisfy the per-index oracle for *every* index it produced.  The
+    default checks just ``index_name``.
+    """
     if builder_proc.error is not None:
         return f"builder error: {builder_proc.error!r}"
     if system.sim.crashed:
@@ -48,23 +55,24 @@ def check_run(system: "System", driver: "WorkloadDriver",
                  if not row["finished"]]
         return (f"{system.sim.live_processes} live processes after the "
                 f"queue drained (lost wakeup): {stuck}")
-    descriptor = system.indexes.get(index_name)
-    if descriptor is None:
-        return f"index {index_name!r} missing after build"
     from repro.core.descriptor import IndexState
-    if descriptor.state is not IndexState.AVAILABLE:
-        return f"index state {descriptor.state!r} after build"
-    try:
-        audit_tree(descriptor.tree)
-    except Exception as exc:  # noqa: BLE001 - report, don't mask
-        return f"structural audit failed: {exc!r}"
-    try:
-        audit_index(system, descriptor)
-    except Exception as exc:  # noqa: BLE001 - report, don't mask
-        return f"index/table audit failed: {exc!r}"
-    failure = _serial_reference_check(descriptor)
-    if failure:
-        return failure
+    for name in tuple(index_names) if index_names else (index_name,):
+        descriptor = system.indexes.get(name)
+        if descriptor is None:
+            return f"index {name!r} missing after build"
+        if descriptor.state is not IndexState.AVAILABLE:
+            return f"index {name} state {descriptor.state!r} after build"
+        try:
+            audit_tree(descriptor.tree)
+        except Exception as exc:  # noqa: BLE001 - report, don't mask
+            return f"{name}: structural audit failed: {exc!r}"
+        try:
+            audit_index(system, descriptor)
+        except Exception as exc:  # noqa: BLE001 - report, don't mask
+            return f"{name}: index/table audit failed: {exc!r}"
+        failure = _serial_reference_check(descriptor)
+        if failure:
+            return f"{name}: {failure}" if index_names else failure
     return _metrics_sanity(system, driver)
 
 

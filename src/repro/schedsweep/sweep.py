@@ -47,11 +47,21 @@ from repro.workloads import WorkloadDriver, WorkloadSpec
 INDEX_NAME = "idx"
 
 #: builder rows the default sweep explores; psf runs at P in {1, 2, 3}
-#: (the paper's interleaving arguments must hold per shard count)
+#: (the paper's interleaving arguments must hold per shard count) and
+#: multi builds K=3 indexes off one shared scan (section 6.2)
 DEFAULT_ROWS: tuple[tuple[str, int], ...] = (
     ("offline", 1), ("nsf", 1), ("sf", 1),
     ("psf", 1), ("psf", 2), ("psf", 3),
+    ("multi", 1),
 )
+
+
+def _index_specs(builder: str) -> list:
+    """The specs one schedule run builds: K=3 for multi, else one."""
+    if builder == "multi":
+        from repro.faultinject.sweep import MULTI_SPECS
+        return list(MULTI_SPECS)
+    return [IndexSpec.of(INDEX_NAME, ["k"])]
 
 
 @dataclass(frozen=True)
@@ -163,7 +173,7 @@ def _start_build(config: ScheduleConfig, policy):
         raise preload.error
     system.sim.schedule_policy = policy
     builder_cls = get_builder(config.builder)
-    builder = builder_cls(system, table, IndexSpec.of(INDEX_NAME, ["k"]),
+    builder = builder_cls(system, table, _index_specs(config.builder),
                           options=config.build_options())
     proc = system.spawn(builder.run(), name="builder")
     driver.spawn_workers()
@@ -190,7 +200,9 @@ def run_plan(config: ScheduleConfig, plan: SchedulePlan) -> ScheduleResult:
         result.preemptions = recorder.preemptions
     result.sim_time = system.sim.now
     if not failure:
-        failure = check_run(system, driver, proc, INDEX_NAME)
+        names = tuple(spec.name for spec in _index_specs(config.builder))
+        failure = check_run(system, driver, proc, INDEX_NAME,
+                            index_names=names)
     result.detail = failure
     result.passed = not failure
     return result
@@ -368,7 +380,8 @@ def main(argv: Optional[list] = None) -> int:
         description="Explore seeded adversarial schedules of an online "
                     "index build and prove the full oracle on each.")
     parser.add_argument("--builder",
-                        choices=("all", "offline", "nsf", "sf", "psf"),
+                        choices=("all", "offline", "nsf", "sf", "psf",
+                                 "multi"),
                         default="all")
     parser.add_argument("--partitions", type=int, default=None,
                         help="psf shard count; default sweeps P in "

@@ -45,6 +45,17 @@ class Latch:
         self._waiters: deque[tuple["Process", str, float]] = deque()
         self._sim: Optional["Simulator"] = None
 
+    @property
+    def busy(self) -> bool:
+        """True while any process holds or awaits this latch.
+
+        The buffer pool consults this before evicting a page: a busy
+        latch means some process already holds a reference to the page
+        object and is (or is about to be) examining or updating it, so
+        replacing the frame would strand that process on a zombie copy.
+        """
+        return bool(self._holders or self._waiters)
+
     # -- kernel resource protocol ----------------------------------------
 
     def _request(self, sim: "Simulator", proc: "Process", mode: str) -> None:

@@ -85,8 +85,8 @@ class BufferPool:
         if image is None:
             raise StorageError(f"page {page_id} does not exist on disk")
         yield from self._charge_io(self.disk.read_cost(1))
-        yield from self._install(image)
-        return image
+        page = yield from self._install(image)
+        return page
 
     def fetch_sequential(self, page_ids: list[PageId]):
         """Fetch consecutive pages with one sequential I/O for the misses.
@@ -129,7 +129,7 @@ class BufferPool:
         if page_id in self._frames or self.disk.has_page(page_id):
             raise StorageError(f"page {page_id} already exists")
         page = DataPage(page_id, capacity, metrics=self.metrics)
-        yield from self._install(page)
+        page = yield from self._install(page)
         # A fresh page is dirty from birth: it exists nowhere on disk.  Its
         # conservative recovery LSN is the next LSN to be written.
         self.dirty.setdefault(page_id, self.log.last_lsn + 1)
@@ -198,25 +198,47 @@ class BufferPool:
     # -- internals --------------------------------------------------------------
 
     def _install(self, page: DataPage):
-        while len(self._frames) >= self.capacity:
-            yield from self._evict_one()
+        while (page.page_id not in self._frames
+               and len(self._frames) >= self.capacity):
+            progress = yield from self._evict_one()
+            if not progress:
+                # Every frame is latched or mid-eviction (tiny pool,
+                # many concurrent users).  Popping a latched page would
+                # strand its holder on a zombie object, so run over
+                # capacity instead; later installs evict back down.
+                self.metrics.incr("buffer.overcommits")
+                break
+        resident = self._frames.get(page.page_id)
+        if resident is not None and resident is not page:
+            # A concurrent fetch installed this page while we slept in
+            # read/eviction I/O.  Its object is canonical -- processes
+            # may already hold (and have updated) it -- and ours is a
+            # stale duplicate from before their changes: replacing the
+            # frame would silently lose logged-but-unflushed updates.
+            self._frames.move_to_end(page.page_id)
+            self.metrics.incr("buffer.install_races")
+            return resident
         self._frames[page.page_id] = page
+        self._frames.move_to_end(page.page_id)
         return page
 
     def _evict_one(self):
+        """Free one frame if possible; True means progress was made.
+
+        Pages whose latch is held (or awaited) are never victims: the
+        latch holder owns a reference to the page *object*, and popping
+        the frame would divorce that object from the pool -- updates
+        applied through it would be logged yet invisible to every later
+        fetch, which re-reads the stale disk image.
+        """
         victim_id = None
-        for candidate in self._frames:
-            if candidate not in self._evicting:
-                victim_id = candidate
-                break
+        for candidate, frame in self._frames.items():
+            if candidate in self._evicting or frame.latch.busy:
+                continue
+            victim_id = candidate
+            break
         if victim_id is None:
-            # Every frame's eviction is already in flight (tiny pool,
-            # many concurrent installers); double up on the LRU head --
-            # the duplicate write is harmless, just not free.
-            for victim_id in self._frames:
-                break
-            else:  # pragma: no cover - guarded by capacity check
-                raise StorageError("buffer pool empty, nothing to evict")
+            return False
         victim = self._frames[victim_id]
         if victim_id in self.dirty:
             # steal: write the (possibly uncommitted) page out, WAL
@@ -242,9 +264,18 @@ class BufferPool:
                 self.metrics.incr("buffer.evictions.dirty")
             finally:
                 self._evicting.discard(victim_id)
+            if victim.latch.busy:
+                # Someone fetched and latched the page during our write
+                # I/O; it must stay resident for them.  The write was
+                # not wasted -- the page is clean now -- but no frame
+                # was freed, so report progress and let the caller pick
+                # another victim.
+                self.metrics.incr("buffer.evictions.rescued")
+                return True
         else:
             self.metrics.incr("buffer.evictions.clean")
         self._frames.pop(victim_id, None)
+        return True
 
     # -- crash modelling ----------------------------------------------------------
 

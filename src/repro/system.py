@@ -133,6 +133,15 @@ class System:
         self.sidefiles: dict[str, object] = {}
         #: sort-run stores by utility name; survive restart like side-files
         self.run_stores: dict[str, object] = {}
+        #: latest utility-checkpoint payload per table with an unfinished
+        #: build.  Mirrored into every checkpoint record when more than
+        #: one build is live, so concurrent builds stop clobbering each
+        #: other's single ``utility_state`` slot; restart() reloads it.
+        self.utility_states: dict[str, dict] = {}
+        #: the system-wide IB admission-control bucket (lazily built by
+        #: :meth:`build_bucket`): ``build_rate_limit`` bounds the
+        #: *aggregate* utility rate, however many builds share it
+        self._build_bucket = None
         #: components with volatile state beyond the standard set register
         #: a callable here; :meth:`crash` invokes each one
         self.crash_hooks: list = []
@@ -149,6 +158,23 @@ class System:
         table = Table(self, name, columns, page_capacity=page_capacity)
         self.tables[name] = table
         return table
+
+    # -- IB admission control -----------------------------------------------
+
+    def build_bucket(self, rate: float):
+        """The shared token bucket charging all index-build work.
+
+        One bucket per System: K concurrent builds each debiting it keep
+        the *total* utility rate at ``rate`` -- K per-build buckets would
+        silently admit K times the configured limit.  Lazily constructed
+        on the first throttled build, so unthrottled systems never pay
+        for it (and their schedules stay byte-identical); a restart gets
+        a fresh System and hence a fresh, full bucket.
+        """
+        if self._build_bucket is None:
+            from repro.core.throttle import TokenBucket
+            self._build_bucket = TokenBucket(self.sim, rate)
+        return self._build_bucket
 
     # -- convenience ------------------------------------------------------------
 

@@ -150,6 +150,12 @@ class LockManager:
             else:
                 head.grant(txn, mode)
                 txn.held_locks.add(name)
+                if head.queue:
+                    # A conversion jumps the queue (see _blocked_behind),
+                    # so this grant can complete a waits-for cycle for
+                    # the entries still queued here without any of them
+                    # issuing a new request; re-check from the head.
+                    self._detect_deadlock(head.queue[0][0], name)
             return True
 
         if conditional:
@@ -204,6 +210,7 @@ class LockManager:
         return bool(head.queue)
 
     def _drain(self, name: Hashable, head: _LockHead) -> None:
+        granted = False
         while head.queue:
             txn, mode, event, instant = head.queue[0]
             if not head.grantable(txn, mode):
@@ -212,25 +219,39 @@ class LockManager:
             if not instant:
                 head.grant(txn, mode)
                 txn.held_locks.add(name)
+                granted = True
             event.set(True)
         if not head.holders and not head.queue:
             self._heads.pop(name, None)
+        elif granted and head.queue:
+            # Granting adds waits-for edges: every entry still queued
+            # here now waits on the new holder(s).  No new *request* is
+            # made at a grant, so enqueue-time detection never examines
+            # a cycle completed this way -- and in a fully convoyed
+            # system no future request will, either.  Re-check from the
+            # blocked head before letting it go back to sleep.
+            self._detect_deadlock(head.queue[0][0], name)
 
     # -- deadlock detection ------------------------------------------------------
 
     def _detect_deadlock(self, requester: "Transaction",
                          name: Hashable) -> None:
-        graph = self._waits_for_graph()
-        if requester.txn_id not in graph:
-            return
-        try:
-            cycle = nx.find_cycle(graph, source=requester.txn_id)
-        except nx.NetworkXNoCycle:
-            return
-        members = {edge[0] for edge in cycle} | {edge[1] for edge in cycle}
-        victim_id = max(members)  # youngest transaction dies
-        self.metrics.incr("lock.deadlocks")
-        self._abort_waiter(victim_id)
+        # Clear EVERY cycle, not just one reachable from the requester:
+        # several can coexist (heavy convoys under a throttled build),
+        # and a cycle left standing is never re-examined -- the waiters
+        # in it make no further requests, so nothing triggers detection
+        # again and the system quietly wedges.
+        while True:
+            graph = self._waits_for_graph()
+            try:
+                cycle = nx.find_cycle(graph)
+            except nx.NetworkXNoCycle:
+                return
+            members = {edge[0] for edge in cycle} \
+                | {edge[1] for edge in cycle}
+            victim_id = max(members)  # youngest transaction dies
+            self.metrics.incr("lock.deadlocks")
+            self._abort_waiter(victim_id)
 
     def _waits_for_graph(self) -> "nx.DiGraph":
         graph = nx.DiGraph()
@@ -241,22 +262,32 @@ class LockManager:
                     if holder is not waiter \
                             and not _COMPATIBLE[(held_mode, mode)]:
                         graph.add_edge(waiter.txn_id, holder.txn_id)
-                # FIFO: a waiter also waits behind earlier incompatible
-                # requests in the same queue.
+                # FIFO: a waiter waits behind EVERY earlier request in
+                # the same queue, compatible or not -- _drain stops at
+                # the first non-grantable entry, so a compatible request
+                # queued behind a blocked one is just as blocked.
                 for ahead, ahead_mode in earlier:
-                    if ahead is not waiter \
-                            and not _COMPATIBLE[(ahead_mode, mode)]:
+                    if ahead is not waiter:
                         graph.add_edge(waiter.txn_id, ahead.txn_id)
                 earlier.append((waiter, mode))
         return graph
 
     def _abort_waiter(self, victim_id: int) -> None:
-        for head in self._heads.values():
+        for name, head in self._heads.items():
             for entry in list(head.queue):
                 txn, _mode, event, _instant = entry
                 if txn.txn_id == victim_id:
                     head.queue.remove(entry)
                     event.set(_VICTIM_MARK)
+                    # The victim's request may have been the only thing
+                    # blocking the entries queued behind it (an X request
+                    # ahead of compatible S requests, head-of-line).  They
+                    # are only examined on a release, so without a drain
+                    # here they sleep until some unrelated holder of this
+                    # head releases -- and when every such holder is
+                    # itself queued elsewhere, that is never: the whole
+                    # system convoys to a halt with no waits-for cycle.
+                    self._drain(name, head)
                     return
         raise TransactionError(  # pragma: no cover - cycle implies a waiter
             f"deadlock victim {victim_id} not found waiting")

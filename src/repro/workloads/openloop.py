@@ -77,6 +77,13 @@ class OpenLoopSpec:
     delete_weight: float = 0.5
     #: range reads cover [low, low + range_span)
     range_span: int = 200
+    #: weighted columns for range reads: ``((column, weight), ...)``.
+    #: Each range read draws one column and scans it via the first index
+    #: leading with that column (falling back to a table scan while it
+    #: is unavailable) -- the multi-column query mix the index advisor
+    #: (:mod:`repro.advisor`) derives its candidates from.  Empty keeps
+    #: the single-column behaviour driven by ``index_name``.
+    range_columns: tuple = ()
     #: key values are drawn from [0, key_space)
     key_space: int = 10_000
     #: "uniform", "skewed" (power-law squash), or "zipf" (rank-weighted)
@@ -148,7 +155,12 @@ class ZipfSampler:
         self._total = total
 
     def sample(self, rng: random.Random) -> int:
-        return bisect_left(self._cumulative, rng.random() * self._total)
+        # rng.random() < 1.0, but the product with _total can round up
+        # to (or past) the last cumulative weight -- e.g. when _total's
+        # binary representation rounds the final partial sum down --
+        # and bisect_left then returns n, an out-of-range rank.  Clamp.
+        index = bisect_left(self._cumulative, rng.random() * self._total)
+        return index if index < self.n else self.n - 1
 
 
 class OpenLoopDriver(WorkloadDriver):
@@ -178,6 +190,11 @@ class OpenLoopDriver(WorkloadDriver):
         super().__init__(system, table, base, seed=seed)
         self.olspec = olspec
         self.index_name = index_name
+        self._range_columns = list(olspec.range_columns)
+        for name, _weight in self._range_columns:
+            if name not in table.columns:
+                raise ValueError(f"range column {name!r} not in table "
+                                 f"{table.name!r} columns {table.columns}")
         self._zipf = ZipfSampler(olspec.key_space, olspec.zipf_s) \
             if olspec.distribution == "zipf" else None
         self.arrivals = arrival_schedule(olspec, seed)
@@ -280,25 +297,56 @@ class OpenLoopDriver(WorkloadDriver):
 
     def _range_read(self, txn, rng):
         """Key-range read: via the index when AVAILABLE, else the full
-        scan the index exists to avoid (section 2.2.4's motivation)."""
+        scan the index exists to avoid (section 2.2.4's motivation).
+
+        With ``spec.range_columns`` set, each read first draws the
+        column it filters on; availability is probed per column, so the
+        ``openloop.range_via_index.<column>`` counters show each index
+        taking over its queries as it flips AVAILABLE mid-run.
+        """
         low = self._draw_key(rng)
         high = low + self.olspec.range_span
-        descriptor = self.system.indexes.get(self.index_name) \
-            if self.index_name is not None else None
+        column: Optional[str] = None
+        position = 0
+        if self._range_columns:
+            column = rng.choices(
+                [name for name, _weight in self._range_columns],
+                weights=[weight
+                         for _name, weight in self._range_columns])[0]
+            descriptor = self._index_leading_on(column)
+            position = self.table.columns.index(column)
+        else:
+            descriptor = self.system.indexes.get(self.index_name) \
+                if self.index_name is not None else None
         if descriptor is not None:
             try:
                 # Index keys are column tuples (IndexDescriptor.key_of).
                 results = yield from index_range_scan(
                     txn, descriptor, (low,), (high,))
                 self.system.metrics.incr("openloop.range_via_index")
+                if column is not None:
+                    self.system.metrics.incr(
+                        f"openloop.range_via_index.{column}")
                 return results
             except IndexNotAvailableError:
                 pass
         results = yield from table_scan(
             txn, self.table,
-            predicate=lambda record: low <= record.values[0] < high)
+            predicate=lambda record: low <= record.values[position] < high)
         self.system.metrics.incr("openloop.range_via_scan")
+        if column is not None:
+            self.system.metrics.incr(f"openloop.range_via_scan.{column}")
         return results
+
+    def _index_leading_on(self, column: str):
+        """The first of the table's indexes whose leading key column is
+        ``column`` (any state -- availability is probed by the scan
+        attempt, exactly like the ``index_name`` path)."""
+        for descriptor in self.table.indexes:
+            key_columns = getattr(descriptor, "key_columns", ())
+            if key_columns and key_columns[0] == column:
+                return descriptor
+        return None
 
     def _sample_rid(self, rng) -> Optional[RID]:
         """A live committed RID to point-read (no claim: readers only

@@ -1,0 +1,200 @@
+"""Workload-aware index advisor (repro.advisor).
+
+What-if cost model invariants (prefix matching, size growth with key
+width), greedy selection under every AdvisorConfig constraint, template
+derivation from an open-loop traffic spec, and determinism -- the same
+workload must always yield the same recommendation.
+"""
+
+import pytest
+
+from repro.advisor import (
+    AdvisorConfig,
+    CandidateIndex,
+    QueryTemplate,
+    TableStats,
+    WhatIfCostModel,
+    candidate_name,
+    generate_candidates,
+    recommend,
+    templates_from_spec,
+)
+from repro.workloads import OpenLoopSpec
+
+STATS = TableStats(rows=320, pages=41, leaf_capacity=8,
+                   branch_capacity=8)
+
+TEMPLATES = [QueryTemplate(("k",), selectivity=0.05, weight=2.0),
+             QueryTemplate(("a",), selectivity=0.05, weight=1.0),
+             QueryTemplate(("b",), selectivity=0.05, weight=1.0)]
+
+
+# -- the what-if cost model --------------------------------------------------
+
+
+def test_query_cost_prefix_matching():
+    model = WhatIfCostModel(STATS)
+    composite = CandidateIndex("adv_a_b", ("a", "b"))
+    single = CandidateIndex("adv_a", ("a",))
+    two_col = QueryTemplate(("a", "b"), selectivity=0.01)
+    full = model.query_cost(two_col, composite)
+    partial = model.query_cost(two_col, single)
+    none = model.query_cost(QueryTemplate(("b",), selectivity=0.01),
+                            single)
+    # full match < partial match < scan; a non-prefix column is useless
+    assert full < partial < model.scan_cost()
+    assert none == model.scan_cost()
+    assert model.best_query_cost(two_col, [single, composite]) == full
+
+
+def test_size_grows_with_key_width():
+    model = WhatIfCostModel(STATS)
+    single = model.size_pages(CandidateIndex("adv_a", ("a",)))
+    double = model.size_pages(CandidateIndex("adv_a_b", ("a", "b")))
+    assert single < double
+    assert model.height(CandidateIndex("adv_a", ("a",))) >= 2
+
+
+def test_workload_cost_without_indexes_is_weighted_scans():
+    model = WhatIfCostModel(STATS)
+    total_weight = sum(t.weight for t in TEMPLATES)
+    assert model.workload_cost(TEMPLATES, []) == \
+        pytest.approx(total_weight * model.scan_cost())
+
+
+def test_template_validation():
+    with pytest.raises(ValueError):
+        QueryTemplate((), selectivity=0.5)
+    with pytest.raises(ValueError):
+        QueryTemplate(("k",), selectivity=0.0)
+    with pytest.raises(ValueError):
+        QueryTemplate(("k",), selectivity=1.5)
+    with pytest.raises(ValueError):
+        QueryTemplate(("k",), selectivity=0.5, weight=-1.0)
+
+
+# -- candidate generation ----------------------------------------------------
+
+
+def test_candidates_are_deduplicated_prefixes_in_sorted_order():
+    templates = [QueryTemplate(("a", "b"), selectivity=0.1),
+                 QueryTemplate(("a",), selectivity=0.2),
+                 QueryTemplate(("b",), selectivity=0.2)]
+    names = [c.name for c in generate_candidates(templates, max_width=2)]
+    # singles before composites, no duplicate adv_a
+    assert names == ["adv_a", "adv_b", "adv_a_b"]
+    narrow = [c.name for c in generate_candidates(templates, max_width=1)]
+    assert narrow == ["adv_a", "adv_b"]
+    assert candidate_name(("a", "b")) == "adv_a_b"
+
+
+# -- greedy selection under constraints --------------------------------------
+
+
+def test_budget_caps_the_pick_set():
+    full = recommend(TEMPLATES, STATS,
+                     AdvisorConfig(storage_budget_pages=400))
+    # adv_k first (highest weight); the equal-weight a/b pair ties and
+    # breaks deterministically on name
+    assert full.picks[0].name == "adv_k"
+    assert sorted(c.name for c in full.picks) == \
+        ["adv_a", "adv_b", "adv_k"]
+    assert full.storage_used <= 400
+    assert full.final_cost < full.initial_cost
+
+    one_index = recommend(TEMPLATES, STATS,
+                          AdvisorConfig(storage_budget_pages=50))
+    # the highest-weight column wins the only slot that fits
+    assert [c.name for c in one_index.picks] == ["adv_k"]
+    assert one_index.storage_used <= 50
+
+    nothing = recommend(TEMPLATES, STATS,
+                        AdvisorConfig(storage_budget_pages=0))
+    assert nothing.picks == []
+    assert nothing.final_cost == nothing.initial_cost
+
+
+def test_max_indexes_and_width_constraints():
+    capped = recommend(TEMPLATES, STATS,
+                       AdvisorConfig(storage_budget_pages=400,
+                                     max_indexes=2))
+    assert len(capped.picks) == 2
+
+    wide_templates = [QueryTemplate(("a", "b"), selectivity=0.01)]
+    narrow = recommend(wide_templates, STATS,
+                       AdvisorConfig(storage_budget_pages=400,
+                                     max_index_width=1))
+    assert all(c.width == 1 for c in narrow.picks)
+
+
+def test_min_cost_improvement_stops_marginal_picks():
+    config = AdvisorConfig(storage_budget_pages=400,
+                           min_cost_improvement=100.0)
+    report = recommend(TEMPLATES, STATS, config)
+    assert report.picks == []
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AdvisorConfig(storage_budget_pages=-1)
+    with pytest.raises(ValueError):
+        AdvisorConfig(storage_budget_pages=10, max_index_width=0)
+    with pytest.raises(ValueError):
+        AdvisorConfig(storage_budget_pages=10, min_cost_improvement=0.9)
+
+
+def test_greedy_prefers_benefit_per_page_then_keeps_improving():
+    """A single index on the leading column has the best benefit/page
+    ratio; the wider composite is still added afterwards while budget
+    remains -- and the modelled cost falls at every step."""
+    templates = [QueryTemplate(("a", "b"), selectivity=0.01)]
+    report = recommend(templates, STATS,
+                       AdvisorConfig(storage_budget_pages=400))
+    assert [c.name for c in report.picks] == ["adv_a", "adv_a_b"]
+    costs = [report.initial_cost] + [s.cost_after for s in report.steps]
+    assert costs == sorted(costs, reverse=True)
+    assert report.to_text().count("+ adv_") == len(report.picks)
+
+
+def test_recommendation_is_deterministic():
+    config = AdvisorConfig(storage_budget_pages=400)
+    first = recommend(list(TEMPLATES), STATS, config)
+    second = recommend(list(reversed(TEMPLATES)), STATS, config)
+    assert [c.name for c in first.picks] == \
+        [c.name for c in second.picks]
+    assert first.final_cost == second.final_cost
+    assert [s.size_pages for s in first.steps] == \
+        [s.size_pages for s in second.steps]
+
+
+def test_specs_are_build_ready():
+    report = recommend(TEMPLATES, STATS,
+                       AdvisorConfig(storage_budget_pages=400))
+    specs = report.specs()
+    assert sorted(s.name for s in specs) == ["adv_a", "adv_b", "adv_k"]
+    assert specs[0].name == "adv_k"
+    assert specs[0].key_columns == ("k",)
+
+
+# -- templates from a traffic spec -------------------------------------------
+
+
+def test_templates_from_spec_mirrors_range_mix():
+    spec = OpenLoopSpec(operations=10, range_weight=2.0,
+                        range_span=100, key_space=2000,
+                        range_columns=(("k", 2.0), ("a", 1.0)))
+    templates = templates_from_spec(spec)
+    assert [t.columns for t in templates] == [("k",), ("a",)]
+    assert all(t.selectivity == pytest.approx(100 / 2000)
+               for t in templates)
+    # weights split the spec's range weight by column share
+    assert templates[0].weight == pytest.approx(2.0 * 2.0 / 3.0)
+    assert templates[1].weight == pytest.approx(2.0 * 1.0 / 3.0)
+
+
+def test_templates_from_spec_degenerate_inputs():
+    assert templates_from_spec(
+        OpenLoopSpec(operations=10, range_columns=())) == []
+    assert templates_from_spec(
+        OpenLoopSpec(operations=10,
+                     range_columns=(("k", 0.0),))) == []

@@ -104,6 +104,27 @@ def test_psf_sweep_covers_the_parallel_sites():
         assert f"kernel.step.{process}" in discovered, sorted(discovered)
 
 
+def test_multi_sweep_all_plans_recover():
+    """K=3 shared-scan census: every (site, hit) pair of a multi-index
+    build -- including the per-index manifest sites -- recovers with all
+    three indexes AVAILABLE and auditing clean."""
+    config = _small_config("multi", max_hits_per_site=1)
+    report = run_sweep(config)
+    assert report.results, "sweep enumerated no plans"
+    assert report.all_passed, report.to_text()
+    assert all(r.fired for r in report.results), report.to_text()
+
+
+def test_multi_sweep_covers_the_manifest_sites():
+    """The multi sweep must reach the new machinery: the shared-scan
+    transition checkpoint and the per-index load/flip boundaries."""
+    discovered = discover(_small_config("multi"))
+    for site in ("multibuild.scan_done", "multibuild.index_loaded",
+                 "multibuild.index_done", "sf.drain_start",
+                 "sf.flag_flip.before", "sf.flag_flip.after"):
+        assert site in discovered, f"{site} unreachable: {sorted(discovered)}"
+
+
 def test_sweep_catches_a_broken_checkpoint(monkeypatch):
     """Checkpoints that skip forcing the index pages violate section
     3.2.4 ("after all the dirty pages of the index have been written to

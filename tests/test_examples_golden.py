@@ -24,7 +24,8 @@ GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
 #: examples with committed goldens (the deterministic, side-effect-free
 #: walkthroughs; crash_recovery.py is covered by the recovery suites)
 GOLDEN_EXAMPLES = ["quickstart.py", "online_migration.py",
-                   "traced_build.py", "latency_slo.py"]
+                   "traced_build.py", "latency_slo.py",
+                   "advisor_build.py"]
 
 
 def _run_example(name: str, *args: str) -> bytes:

@@ -1,0 +1,203 @@
+"""Multi-index single-scan builds (repro.multibuild, section 6.2).
+
+The tentpole properties: K indexes come out of ONE data scan (pages
+scanned equals the table's page count, not K times it), each index
+flips AVAILABLE independently and in spec order, an empty table flips
+everything straight to AVAILABLE, and a crash between per-index flips
+resumes only the unfinished indexes -- no rescan, no reload of the
+finished ones.
+"""
+
+import pytest
+
+from repro.core import (
+    BuildOptions,
+    IndexSpec,
+    IndexState,
+    NSFIndexBuilder,
+    SFIndexBuilder,
+    build_pre_undo,
+    get_builder,
+    resume_build,
+)
+from repro.faultinject.injector import CRASH, FaultInjector, FaultPlan
+from repro.multibuild import MultiIndexBuilder, multi_build
+from repro.recovery import restart
+from repro.system import System, SystemConfig
+from repro.verify import audit_index
+from repro.workloads import WorkloadDriver, WorkloadSpec
+
+SPECS3 = [IndexSpec.of("i_k", ["k"]),
+          IndexSpec.of("i_p", ["p"]),
+          IndexSpec.of("i_kp", ["k", "p"])]
+
+
+def small_config(**overrides):
+    kwargs = dict(page_capacity=8, leaf_capacity=8, branch_capacity=8,
+                  sort_workspace=16, merge_fanin=4)
+    kwargs.update(overrides)
+    return SystemConfig(**kwargs)
+
+
+def drive(system, body, name="proc"):
+    proc = system.spawn(body, name=name)
+    system.run()
+    if proc.error is not None:
+        raise proc.error
+    return proc
+
+
+def preloaded(rows=200, seed=61, **config_overrides):
+    system = System(small_config(**config_overrides), seed=seed)
+    table = system.create_table("t", ["k", "p"])
+    driver = WorkloadDriver(system, table,
+                            WorkloadSpec(operations=0), seed=seed)
+    drive(system, driver.preload(rows), name="preload")
+    return system, table
+
+
+def specs_of(specs=SPECS3):
+    return [IndexSpec.of(s.name, list(s.key_columns)) for s in specs]
+
+
+# -- one scan, K indexes -----------------------------------------------------
+
+
+def test_quiet_table_builds_k_indexes_from_one_scan():
+    system, table = preloaded()
+    pages_before = table.page_count
+    builder = MultiIndexBuilder(system, table, specs_of())
+    drive(system, builder.run(), name="builder")
+    # the single shared scan touched every data page exactly once
+    assert system.metrics.get("build.pages_scanned") == pages_before
+    assert system.metrics.get("multibuild.indexes_flipped") == 3
+    for spec in SPECS3:
+        descriptor = system.indexes[spec.name]
+        assert descriptor.state is IndexState.AVAILABLE
+        audit_index(system, descriptor)
+
+
+def test_multi_scan_is_one_third_of_sequential_builds():
+    """The bench's headline claim, in miniature: K sequential builds
+    scan K times the pages the shared-scan builder does."""
+    system, table = preloaded()
+    builder = MultiIndexBuilder(system, table, specs_of())
+    drive(system, builder.run(), name="builder")
+    multi_pages = system.metrics.get("build.pages_scanned")
+
+    seq_system, seq_table = preloaded()
+    for spec in specs_of():
+        seq = SFIndexBuilder(seq_system, seq_table, [spec])
+        drive(seq_system, seq.run(), name=f"builder-{spec.name}")
+    assert seq_system.metrics.get("build.pages_scanned") == 3 * multi_pages
+
+
+@pytest.mark.parametrize("seed", [71, 72])
+def test_flips_are_independent_and_in_spec_order(seed):
+    system, table = preloaded(seed=seed)
+    spec = WorkloadSpec(operations=40, workers=2, rollback_fraction=0.1,
+                        think_time=1.0)
+    driver = WorkloadDriver(system, table, spec, seed=seed)
+    builder = MultiIndexBuilder(system, table, specs_of())
+    proc = system.spawn(builder.run(), name="builder")
+    workers = driver.spawn_workers()
+    system.run()
+    if proc.error is not None:
+        raise proc.error
+    for wproc in workers:
+        assert wproc.error is None
+    flips = [builder.timings[f"drain_done:{s.name}"] for s in SPECS3]
+    # index i is AVAILABLE strictly before index i+1 finishes loading:
+    # the staircase, not one big flip at the end
+    assert flips == sorted(flips)
+    assert flips[0] < flips[-1]
+    assert flips[-1] <= builder.timings["done"]
+    for spec_ in SPECS3:
+        audit_index(system, system.indexes[spec_.name])
+
+
+def test_empty_table_flips_straight_available():
+    system, table = preloaded(rows=0)
+    builder = MultiIndexBuilder(system, table, specs_of())
+    drive(system, builder.run(), name="builder")
+    assert system.metrics.get("build.pages_scanned") == 0
+    for spec in SPECS3:
+        descriptor = system.indexes[spec.name]
+        assert descriptor.state is IndexState.AVAILABLE
+        assert descriptor.tree.key_count() == 0
+        audit_index(system, descriptor)
+
+
+# -- crash / resume ----------------------------------------------------------
+
+
+def test_crash_between_flips_resumes_only_unfinished_indexes():
+    """Crash right after index 1's flip is checkpointed: the resumed
+    build must skip it outright -- no rescan, no reload -- and still
+    bring indexes 2 and 3 online."""
+    system, table = preloaded(seed=73)
+    spec = WorkloadSpec(operations=20, workers=2, rollback_fraction=0.1,
+                        think_time=1.0)
+    driver = WorkloadDriver(system, table, spec, seed=73)
+    options = BuildOptions(checkpoint_every_pages=8,
+                           checkpoint_every_keys=64,
+                           commit_every_keys=32)
+    builder = MultiIndexBuilder(system, table, specs_of(),
+                                options=options)
+    injector = FaultInjector(
+        FaultPlan(site="multibuild.index_done", hit=1,
+                  kind=CRASH)).install(system)
+    proc = system.spawn(builder.run(), name="builder")
+    driver.spawn_workers()
+    system.run()
+    assert injector.fired is not None, "fault site never reached"
+    assert proc.error is not None  # the injected power failure
+    injector.uninstall()
+
+    recovered, utility_state = restart(system, pre_undo=build_pre_undo)
+    resumed = resume_build(recovered, utility_state)
+    assert isinstance(resumed, MultiIndexBuilder)
+    drive(recovered, resumed.run(), name="resumed")
+    # the finished index was skipped, and nothing was rescanned
+    assert recovered.metrics.get("multibuild.resume_skipped_indexes") >= 1
+    assert recovered.metrics.get("build.pages_scanned") == 0
+    for spec_ in SPECS3:
+        descriptor = recovered.indexes[spec_.name]
+        assert descriptor.state is IndexState.AVAILABLE
+        audit_index(recovered, descriptor)
+
+
+# -- discipline dispatch -----------------------------------------------------
+
+
+def test_multi_build_dispatches_by_discipline():
+    system, table = preloaded(rows=50)
+    assert isinstance(multi_build(system, table, specs_of()),
+                      MultiIndexBuilder)
+    assert isinstance(
+        multi_build(system, table, specs_of(), discipline="nsf"),
+        NSFIndexBuilder)
+    with pytest.raises(ValueError):
+        multi_build(system, table, specs_of(), discipline="bogus")
+    assert get_builder("multi") is MultiIndexBuilder
+
+
+def test_nsf_discipline_builds_k_indexes_under_load():
+    """Section 6.2's NSF note: the existing NSF builder already handles
+    K specs against one shared scan; ``multi_build`` just routes there."""
+    system, table = preloaded(seed=74)
+    spec = WorkloadSpec(operations=30, workers=2, rollback_fraction=0.1,
+                        think_time=1.0)
+    driver = WorkloadDriver(system, table, spec, seed=74)
+    builder = multi_build(system, table, specs_of(), discipline="nsf")
+    proc = system.spawn(builder.run(), name="builder")
+    workers = driver.spawn_workers()
+    system.run()
+    if proc.error is not None:
+        raise proc.error
+    for wproc in workers:
+        assert wproc.error is None
+    for spec_ in SPECS3:
+        descriptor = system.indexes[spec_.name]
+        assert descriptor.state is IndexState.AVAILABLE
+        audit_index(system, descriptor)

@@ -227,7 +227,7 @@ def test_oracle_detects_metrics_divergence():
 
 
 @pytest.mark.parametrize("builder,partitions", [
-    ("offline", 1), ("nsf", 1), ("sf", 1), ("psf", 3),
+    ("offline", 1), ("nsf", 1), ("sf", 1), ("psf", 3), ("multi", 1),
 ])
 def test_seeded_schedule_passes_and_replays(builder, partitions):
     import dataclasses

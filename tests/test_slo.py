@@ -220,6 +220,63 @@ def test_gate_trips_on_unprotected_p99():
     assert not any(p.startswith("offline") for p in problems)
 
 
+def _add_bursty_rows(payload, baseline_p99=30.0, tight_p99=None):
+    """Append the bursty add-on scenarios the full suite emits."""
+    if tight_p99 is None:
+        tight_p99 = baseline_p99
+
+    def latency(p99):
+        return {"ops": 150, "p50": p99 / 4, "p95": p99 * 0.9, "p99": p99,
+                "max": p99 * 1.5, "mean": p99 / 3, "excluded": 0,
+                "dropped": 0, "queue_high_water": 2, "by_op": {}}
+
+    payload["scenarios"].append(
+        {"name": "bursty/baseline", "kind": "baseline", "ok": True,
+         "params": dict(tradeoff.BURSTY_PARAMS),
+         "latency": latency(baseline_p99)})
+    for i, rate in enumerate(tradeoff.BURSTY_RATES):
+        tightest = i == len(tradeoff.BURSTY_RATES) - 1
+        p99 = tight_p99 if tightest else baseline_p99 * 2.0
+        payload["scenarios"].append(
+            {"name": f"bursty/{tradeoff.BURSTY_BUILDER}/"
+                     f"rate_{tradeoff.rate_label(rate)}",
+             "kind": "build", "ok": True,
+             "params": dict(tradeoff.BURSTY_PARAMS),
+             "build_time": 100.0 * (2 ** i),
+             "latency": latency(p99)})
+    return payload
+
+
+def test_bursty_rows_pass_when_tail_is_protected():
+    payload = _add_bursty_rows(_fake_payload())
+    assert tradeoff.check_payload(payload) == []
+
+
+def test_bursty_gate_trips_on_unprotected_tail():
+    """The bursty p99 ceiling is relative to the *bursty* baseline --
+    burst backlog raises the floor for everyone -- and must trip when
+    the throttled build still blows through it."""
+    bad_p99 = 30.0 * tradeoff.P99_PROTECTION_FACTOR * 2.0
+    payload = _add_bursty_rows(_fake_payload(), baseline_p99=30.0,
+                               tight_p99=bad_p99)
+    problems = tradeoff.check_payload(payload)
+    assert any("bursty" in p and "exceeds" in p for p in problems), \
+        problems
+
+
+def test_bursty_rows_are_optional_for_older_payloads():
+    """Payloads recorded before the bursty sweep (no bursty/* rows) must
+    still validate and gate cleanly -- covered by the plain fake payload
+    -- and a failed bursty baseline must disable (not trip) the gate."""
+    payload = _add_bursty_rows(_fake_payload(), tight_p99=10_000.0)
+    baseline = tradeoff.find_scenario(payload, "bursty/baseline")
+    baseline["ok"] = False
+    baseline["error"] = "ValueError: boom"
+    problems = tradeoff.check_payload(payload)
+    assert not any("exceeds" in p and "bursty" in p for p in problems)
+    assert any("boom" in p for p in problems)  # the failure still reports
+
+
 def test_check_payload_flags_drift_against_reference():
     reference = _fake_payload()
     payload = _fake_payload()
