@@ -1,0 +1,204 @@
+"""The replica apply path: redo shipped heap records as local updates.
+
+Replication here is *physical and logical at once*: the shipped record
+is the primary's physical ``heap.put`` / ``heap.clear`` redo payload
+(the same payloads ARIES-lite restart replays), but the replica applies
+it through its own full write path -- page latch, record lock, local
+WAL record, and crucially its own **index maintenance**
+(:meth:`prepare_insert` and friends).  That last part is the point of
+the whole subsystem: a replica building a divergent index online keeps
+its side-file fed by the apply loop exactly as a primary build is fed
+by foreground updates, so the paper's no-quiesce machinery carries over
+to replication unchanged.
+
+Every applied record is tagged in its local WAL ``info`` with the
+identity of the *original* write -- ``(upstream, origin_lsn)``, the
+writer node's name and its local LSN.  Tags survive re-shipping (a
+record applied from a promoted ex-replica keeps its original writer's
+tag), which is what makes exactly-once apply work across failovers:
+:func:`committed_origin_floors` recovers, per original writer, the
+highest origin LSN this replica has durably committed, and the shipper
+skips everything at or below the floor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import StorageError
+from repro.sim.kernel import Acquire, Delay
+from repro.sim.latch import EXCLUSIVE
+from repro.storage.page import Record
+from repro.storage.rid import RID
+from repro.wal.records import LogRecord, RecordKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.table import Table
+    from repro.system import System
+    from repro.txn.transaction import Transaction
+
+#: redo operations a replica applies; everything else in the upstream
+#: log (index internals, checkpoints, txn control) is node-local
+SHIPPABLE_OPS = ("heap.put", "heap.clear")
+
+
+def record_identity(upstream_name: str, record: LogRecord
+                    ) -> tuple[str, int]:
+    """The original ``(writer, origin_lsn)`` of a log record.
+
+    A record the upstream itself applied from *its* upstream carries
+    the original tag in ``info``; the upstream's native records are
+    identified by its own name and local LSN.
+    """
+    info = record.info or {}
+    writer = info.get("upstream")
+    if writer is not None:
+        return writer, int(info.get("origin_lsn", 0))
+    return upstream_name, record.lsn
+
+
+def shippable(record: LogRecord) -> bool:
+    """True for records a replica replays (data-page history only)."""
+    if record.kind not in (RecordKind.UPDATE, RecordKind.COMPENSATION):
+        return False
+    if record.redo is None:
+        return False
+    return record.redo[0] in SHIPPABLE_OPS
+
+
+def apply_record(txn: "Transaction", system: "System", record: LogRecord,
+                 writer: str, origin: int):
+    """Generator: apply one shipped record inside the local ``txn``."""
+    op, args = record.redo
+    table = system.tables.get(args.get("table"))
+    if table is None:
+        raise StorageError(
+            f"shipped record for unknown table {args.get('table')!r}")
+    rid = RID(*args["rid"])
+    if op == "heap.put":
+        yield from _apply_put(txn, table, rid, tuple(args["values"]),
+                              writer, origin)
+    else:
+        yield from _apply_clear(txn, table, rid, writer, origin)
+
+
+def _apply_put(txn: "Transaction", table: "Table", rid: RID,
+               values: tuple, writer: str, origin: int):
+    """Insert-or-update at an exact RID, mirroring the primary's write.
+
+    The primary's physical history dictates the slot, so the replica
+    pre-extends the heap file to cover it, then classifies the put by
+    peeking the slot: empty means the original was an insert, occupied
+    an update.  Undo payloads are the standard ones -- a crashed apply
+    transaction rolls back exactly like any local writer.
+    """
+    system = table.system
+    record = Record(tuple(values))
+    yield from table._intent_lock(txn)
+    granted = yield from txn.lock(table.lock_name(rid), "X")
+    assert granted
+    while table.page_count <= rid.page_no:
+        yield from table._allocate_page()
+    page = yield from table._fetch_page(rid.page_no)
+    yield Acquire(page.latch, EXCLUSIVE)
+    try:
+        old = page.peek(rid.slot)
+        if old is None:
+            snapshot = table.maintenance.prepare_insert(txn, rid, record)
+            action = "insert"
+            undo = ("heap.insert", {"table": table.name, "rid": rid,
+                                    "values": record.values})
+        else:
+            snapshot = table.maintenance.prepare_update(txn, rid, old,
+                                                        record)
+            action = "update"
+            undo = ("heap.update", {"table": table.name, "rid": rid,
+                                    "old_values": old.values,
+                                    "new_values": record.values})
+        page.put(rid.slot, record)
+        log_record = txn.log(
+            RecordKind.UPDATE,
+            page_id=page.page_id,
+            redo=("heap.put", {"table": table.name, "rid": rid,
+                               "values": record.values,
+                               "capacity": table.page_capacity}),
+            undo=undo,
+            info={"table": table.name, "action": action, "rid": rid,
+                  "visible_count": snapshot.count,
+                  "sf_routed": list(snapshot.sf_routed),
+                  "upstream": writer, "origin_lsn": origin},
+        )
+        system.buffer.mark_dirty(page, log_record.lsn)
+    finally:
+        page.latch.release(system.sim.current)
+    yield Delay(system.config.record_op_cost)
+    system.metrics.incr("cluster.applied_puts")
+    yield from table.maintenance.apply_direct(txn, snapshot)
+
+
+def _apply_clear(txn: "Transaction", table: "Table", rid: RID,
+                 writer: str, origin: int):
+    """Delete at an exact RID.  The slot must be occupied: shipping is
+    exactly-once and in order, so a missing record means the replication
+    invariant broke -- fail loudly rather than paper over it."""
+    system = table.system
+    yield from table._intent_lock(txn)
+    granted = yield from txn.lock(table.lock_name(rid), "X")
+    assert granted
+    page = yield from table._fetch_page(rid.page_no)
+    yield Acquire(page.latch, EXCLUSIVE)
+    try:
+        record = page.peek(rid.slot)
+        if record is None:
+            raise StorageError(
+                f"shipped clear of empty slot {rid} on {table.name!r} "
+                f"(writer={writer}, origin_lsn={origin})")
+        snapshot = table.maintenance.prepare_delete(txn, rid, record)
+        page.clear(rid.slot)
+        log_record = txn.log(
+            RecordKind.UPDATE,
+            page_id=page.page_id,
+            redo=("heap.clear", {"table": table.name, "rid": rid,
+                                 "capacity": table.page_capacity}),
+            undo=("heap.delete", {"table": table.name, "rid": rid,
+                                  "values": record.values}),
+            info={"table": table.name, "action": "delete", "rid": rid,
+                  "visible_count": snapshot.count,
+                  "sf_routed": list(snapshot.sf_routed),
+                  "upstream": writer, "origin_lsn": origin},
+        )
+        system.buffer.mark_dirty(page, log_record.lsn)
+    finally:
+        page.latch.release(system.sim.current)
+    yield Delay(system.config.record_op_cost)
+    system.metrics.incr("cluster.applied_clears")
+    yield from table.maintenance.apply_direct(txn, snapshot)
+
+
+def committed_origin_floors(system: "System") -> dict[str, int]:
+    """Per original writer, the highest origin LSN durably applied here.
+
+    Scans the local log once: applied records are local UPDATEs tagged
+    with ``(upstream, origin_lsn)``; only those whose local transaction
+    COMMITted count (an apply batch that crashed mid-flight is rolled
+    back by restart and must be re-shipped).  Because batches apply
+    origin LSNs in order and commit monotonically, the floor covers
+    *every* committed record, so "skip at or below the floor" is an
+    exact resume point.
+    """
+    committed: set = set()
+    for record in system.log.scan():
+        if record.kind is RecordKind.COMMIT and record.txn_id is not None:
+            committed.add(record.txn_id)
+    floors: dict[str, int] = {}
+    for record in system.log.scan():
+        if record.kind is not RecordKind.UPDATE:
+            continue
+        info = record.info or {}
+        writer = info.get("upstream")
+        if writer is None or record.txn_id not in committed:
+            continue
+        origin = int(info.get("origin_lsn", 0))
+        if origin > floors.get(writer, 0):
+            floors[writer] = origin
+    return floors

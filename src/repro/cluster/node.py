@@ -1,0 +1,156 @@
+"""Cluster nodes and the simulated network between them.
+
+A :class:`ClusterNode` wraps one :class:`~repro.system.System` that
+shares the cluster's single :class:`~repro.sim.kernel.Simulator`.  The
+node tracks which processes are *resident* on it -- the apply loop, any
+index builders, and adopted traffic operations -- so that killing the
+node unwinds exactly those processes and nothing else: node death is a
+:class:`~repro.errors.NodeDown` thrown into each resident, not a
+:class:`~repro.errors.SystemCrash` (which would stop the shared kernel
+and take the healthy nodes down with it).
+
+Two kernel subtleties the kill path must respect:
+
+* a generator that has never been started (``GEN_CREATED``) cannot
+  catch a thrown exception -- ``gen.throw`` raises at the ``def`` line
+  and would propagate out of the run loop -- so unstarted residents are
+  finished directly instead of thrown into;
+* a resident currently blocked in a latch/lock/event queue is simply
+  scheduled a throw; the queues already skip finished waiters.
+
+:class:`NetworkLink` charges simulated time for each shipped WAL batch:
+a fixed propagation latency plus a size/bandwidth term.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import NodeDown
+from repro.sim.kernel import Delay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.ship import Subscription
+    from repro.sim.kernel import Process
+    from repro.system import System
+
+
+class NetworkLink:
+    """Delay model for one primary->replica log-shipping channel."""
+
+    def __init__(self, latency: float = 1.0,
+                 bandwidth: Optional[float] = None) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency!r}")
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth!r}")
+        self.latency = latency
+        #: log records per simulated time unit (None = unlimited)
+        self.bandwidth = bandwidth
+
+    def transmit(self, records: int):
+        """Generator: charge the wire time for one batch of records."""
+        delay = self.latency
+        if self.bandwidth is not None:
+            delay += records / self.bandwidth
+        if delay > 0:
+            yield Delay(delay)
+        return records
+
+
+class ClusterNode:
+    """One system plus its residency bookkeeping inside a cluster."""
+
+    def __init__(self, cluster: "Cluster", name: str, system: "System",
+                 role: str, link: Optional[NetworkLink] = None) -> None:
+        self.cluster = cluster
+        self.name = name
+        self.system = system
+        #: "primary", "replica", or "failed" (a dead ex-primary)
+        self.role = role
+        self.link = link or NetworkLink()
+        self.down = False
+        self.recovering = False
+        self.subscription: Optional["Subscription"] = None
+        #: processes that die with this node
+        self.residents: list["Process"] = []
+        #: builds this node has been asked to run: (mode, table, specs,
+        #: options).  Recovery reissues any whose descriptors were
+        #: discarded as orphans (crash before the first checkpoint).
+        self.planned_builds: list[tuple] = []
+        #: live builder processes (for quiesce detection)
+        self.build_procs: list["Process"] = []
+
+    # -- residency ---------------------------------------------------------
+
+    def spawn(self, body, name: str = "proc") -> "Process":
+        """Spawn a node-resident process (dies with the node)."""
+        proc = self.cluster.sim.spawn(self._guard(body),
+                                      name=f"{self.name}.{name}")
+        self.adopt(proc)
+        return proc
+
+    def _guard(self, body):
+        """Wrap a resident body so node death ends it quietly."""
+        try:
+            result = yield from body
+        except NodeDown:
+            return None
+        return result
+
+    def adopt(self, proc: "Process") -> None:
+        """Register an externally spawned process (a routed traffic op)
+        as resident: it targets this node's system, so it must die with
+        the node rather than keep touching crashed state."""
+        if len(self.residents) > 64:
+            self.residents = [p for p in self.residents if not p.finished]
+        if proc not in self.residents:
+            self.residents.append(proc)
+
+    # -- failure -----------------------------------------------------------
+
+    def kill(self) -> None:
+        """Fail the node: crash its system, unwind its residents.
+
+        Idempotent.  Residents that already finished are skipped; ones
+        that never started cannot catch a throw, so they are finished
+        directly (their ``finally`` blocks have nothing to release).
+        """
+        if self.down:
+            return
+        self.down = True
+        sim = self.cluster.sim
+        victims, self.residents = self.residents, []
+        self.system.crash()
+        for proc in victims:
+            if proc.finished:
+                continue
+            if inspect.getgeneratorstate(proc.body) == inspect.GEN_CREATED:
+                sim._finish(proc)
+            else:
+                sim._throw(proc, NodeDown(f"node {self.name} failed"))
+        self.cluster.metrics.incr("cluster.node_kills")
+        tracer = self.cluster.metrics.tracer
+        if tracer is not None:
+            tracer.instant("cluster.node_down", node=self.name,
+                           role=self.role)
+
+    def builds_done(self) -> bool:
+        """True when every planned index on this node is AVAILABLE and no
+        builder process is still running."""
+        from repro.core.descriptor import IndexState  # lazy: avoid cycle
+        if any(not proc.finished for proc in self.build_procs):
+            return False
+        for _mode, _table, specs, _options in self.planned_builds:
+            for spec in specs:
+                descriptor = self.system.indexes.get(spec.name)
+                if descriptor is None \
+                        or descriptor.state is not IndexState.AVAILABLE:
+                    return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<ClusterNode {self.name} role={self.role} "
+                f"down={self.down} residents={len(self.residents)}>")

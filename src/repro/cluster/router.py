@@ -1,0 +1,124 @@
+"""Read routing: send each query to the best node that may serve it.
+
+Writes always go to the primary (single-master replication).  Reads are
+routed by two criteria, in order:
+
+1. **Staleness** -- a replica is only eligible while its apply lag (in
+   log records) is within ``staleness_bound``.  Eviction is hysteretic:
+   once evicted, a replica is readmitted only after its lag falls below
+   ``resume_fraction`` of the bound, so a replica hovering at the
+   boundary does not flap in and out of the routing set.
+2. **Index availability** -- a range query on column ``c`` prefers a
+   fresh replica whose index leading on ``c`` has flipped AVAILABLE
+   (ties broken by lag, then name).  This is where divergent tuning
+   pays off: each replica serves the slice of the query mix its own
+   index set covers.
+
+Point reads spread across all fresh replicas (least-picked first) to
+offload the primary.  When no replica qualifies -- none attached, all
+lagging, mid-failover -- everything falls back to the primary, which is
+always correct, just slower.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.descriptor import IndexState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.node import ClusterNode
+
+
+class Router:
+    """Staleness- and index-aware read routing over a cluster."""
+
+    def __init__(self, cluster: "Cluster", *,
+                 staleness_bound: float = 150.0,
+                 resume_fraction: float = 0.5) -> None:
+        if staleness_bound <= 0:
+            raise ValueError("staleness_bound must be positive")
+        if not 0.0 < resume_fraction <= 1.0:
+            raise ValueError("resume_fraction must be in (0, 1]")
+        self.cluster = cluster
+        self.staleness_bound = staleness_bound
+        self.resume_fraction = resume_fraction
+        #: node names currently evicted for lagging
+        self.evicted: set[str] = set()
+        self._picks: dict[str, int] = {}
+
+    # -- eligibility -------------------------------------------------------
+
+    def fresh_replicas(self) -> list[tuple[int, "ClusterNode"]]:
+        """Routable replicas as ``(lag, node)``, hysteresis applied."""
+        out = []
+        metrics = self.cluster.metrics
+        for node in self.cluster.replicas():
+            sub = node.subscription
+            if node.down or node.recovering or sub is None \
+                    or sub.stopped or sub.proc is None:
+                continue
+            lag = sub.lag()
+            if node.name in self.evicted:
+                if lag <= self.staleness_bound * self.resume_fraction:
+                    self.evicted.discard(node.name)
+                    metrics.incr("cluster.router.readmits")
+                else:
+                    continue
+            elif lag > self.staleness_bound:
+                self.evicted.add(node.name)
+                metrics.incr("cluster.router.evictions")
+                continue
+            out.append((lag, node))
+        return out
+
+    # -- routing -----------------------------------------------------------
+
+    def route_point(self) -> "ClusterNode":
+        """Best node for a point read: least-picked fresh replica."""
+        fresh = self.fresh_replicas()
+        if not fresh:
+            return self._to_primary()
+        _lag, node = min(
+            fresh, key=lambda pair: (self._picks.get(pair[1].name, 0),
+                                     pair[1].name))
+        return self._to_replica(node)
+
+    def route_range(self, table_name: str, column: str) -> "ClusterNode":
+        """Best node for a range read on ``column``: the freshest
+        replica serving it from an AVAILABLE index, else the primary."""
+        indexed = []
+        for lag, node in self.fresh_replicas():
+            if self._available_index(node, table_name, column) is not None:
+                indexed.append((lag, node.name, node))
+        if indexed:
+            indexed.sort(key=lambda entry: (entry[0], entry[1]))
+            return self._to_replica(indexed[0][2])
+        return self._to_primary()
+
+    @staticmethod
+    def _available_index(node: "ClusterNode", table_name: str,
+                         column: str) -> Optional[object]:
+        table = node.system.tables.get(table_name)
+        if table is None:
+            return None
+        for descriptor in table.indexes:
+            key_columns = getattr(descriptor, "key_columns", ())
+            if key_columns and key_columns[0] == column \
+                    and descriptor.state is IndexState.AVAILABLE:
+                return descriptor
+        return None
+
+    # -- accounting --------------------------------------------------------
+
+    def _to_primary(self) -> "ClusterNode":
+        self.cluster.metrics.incr("cluster.router.to_primary")
+        return self.cluster.primary
+
+    def _to_replica(self, node: "ClusterNode") -> "ClusterNode":
+        self._picks[node.name] = self._picks.get(node.name, 0) + 1
+        metrics = self.cluster.metrics
+        metrics.incr("cluster.router.to_replica")
+        metrics.incr(f"cluster.router.pick.{node.name}")
+        return node

@@ -1,0 +1,157 @@
+"""The canonical cluster scenario shared by the sweep and the bench.
+
+One primary takes an open-loop write+read mix while N replicas apply
+its shipped WAL and (divergently) build their own indexes online.  The
+sweep arms fault plans against it; the bench measures routed latency
+over it.  Keeping the scenario in one place keeps the two honest: the
+configuration the bench publishes numbers for is the configuration the
+oracle survives faults under.
+
+The run has three phases:
+
+1. **preload** -- the primary is populated alone (no replicas yet), so
+   the simulator drains cleanly before any poll-driven subscription
+   process exists;
+2. **traffic** -- replicas attach (bootstrapping through ordinary log
+   shipping), traffic and divergent builds start, and an optional
+   scripted failover or armed fault plan perturbs the run;
+3. **settle** -- the settle controller waits for traffic, builds, and
+   catch-up, then stops the subscriptions so the run quiesces before
+   ``horizon``; the oracle then checks everything.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.oracle import check_cluster
+from repro.cluster.traffic import ClusterOpenLoopDriver
+from repro.core.base import BuildOptions, IndexSpec
+from repro.faultinject.injector import FaultInjector, FaultPlan
+from repro.sim.kernel import Delay
+from repro.system import SystemConfig
+from repro.verify.consistency import ConsistencyError
+from repro.workloads.openloop import OpenLoopSpec
+
+TABLE = "t"
+COLUMNS = ("k", "tag", "a", "b")
+KEY_SPACE = 600
+
+#: small pages/trees so builds span many checkpoints at laptop scale
+SCENARIO_CONFIG = SystemConfig(
+    page_capacity=8, buffer_frames=64, leaf_capacity=8,
+    branch_capacity=8, sort_workspace=16, merge_fanin=4)
+
+#: the divergent plan the sweep always runs: replica 1 serves ``k``
+#: via an NSF build, replica 2 serves ``a`` via an SF build
+DIVERGENT_BUILDS = (
+    ("nsf", "r1_k", ("k",)),
+    ("sf", "r2_a", ("a",)),
+)
+
+BUILD_OPTIONS = BuildOptions(checkpoint_every_keys=64,
+                             commit_every_keys=64, drain_batch=16)
+
+
+def scenario_row(key: int, tag: str) -> tuple:
+    """Four-column rows: secondary columns derive from the key so every
+    write path (insert, key-changing update) keeps them consistent."""
+    return (key, tag, (key * 7) % KEY_SPACE, (key * 13) % KEY_SPACE)
+
+
+def scenario_spec(operations: int, rate: float,
+                  arrivals: str = "poisson") -> OpenLoopSpec:
+    return OpenLoopSpec(
+        operations=operations, rate=rate, arrivals=arrivals,
+        read_weight=1.5, range_weight=1.5, insert_weight=1.0,
+        update_weight=1.0, delete_weight=0.5,
+        range_span=40,
+        range_columns=(("k", 2.0), ("a", 1.5), ("b", 1.0)),
+        key_space=KEY_SPACE, rollback_fraction=0.05)
+
+
+def build_scenario(*, replicas: int = 2, records: int = 120,
+                   operations: int = 150, rate: float = 0.8,
+                   seed: int = 0, arrivals: str = "poisson",
+                   staleness_bound: float = 400.0,
+                   link_latency: float = 1.0,
+                   batch_records: int = 24,
+                   poll_interval: float = 2.0,
+                   config: Optional[SystemConfig] = None
+                   ) -> tuple[Cluster, ClusterOpenLoopDriver]:
+    """Phase 1: cluster + preloaded primary + attached (empty) replicas."""
+    cluster = Cluster(config or SCENARIO_CONFIG, seed,
+                      staleness_bound=staleness_bound,
+                      link_latency=link_latency,
+                      batch_records=batch_records,
+                      poll_interval=poll_interval)
+    cluster.primary.system.create_table(TABLE, COLUMNS)
+    driver = ClusterOpenLoopDriver(
+        cluster, TABLE, scenario_spec(operations, rate, arrivals),
+        seed=seed)
+    driver.row_factory = scenario_row
+    cluster.primary.system.spawn(driver.preload(records), name="preload")
+    cluster.run()  # drains: no subscription poll loops exist yet
+    for _ in range(replicas):
+        cluster.add_replica()
+    return cluster, driver
+
+
+def start_divergent_builds(cluster: Cluster) -> None:
+    """Start the standard divergent per-replica builds (as many of the
+    plan's entries as there are replicas)."""
+    for node, (mode, name, key_columns) in zip(cluster.replicas(),
+                                               DIVERGENT_BUILDS):
+        cluster.start_build(
+            node, mode, [IndexSpec.of(name, list(key_columns))],
+            options=BUILD_OPTIONS, table_name=TABLE)
+
+
+def schedule_failover(cluster: Cluster, at: float) -> None:
+    """Script one failover at simulated time ``at`` (skipped if a fault
+    plan already caused one -- a run has at most one failover)."""
+    def body():
+        yield Delay(at)
+        if cluster.metrics.get("cluster.failovers") == 0 \
+                and not cluster.failing_over:
+            cluster.trigger_failover()
+    cluster.spawn(body(), name="scripted-failover")
+
+
+def run_scenario(*, replicas: int = 2, records: int = 120,
+                 operations: int = 150, rate: float = 0.8,
+                 seed: int = 0, arrivals: str = "poisson",
+                 fault_plan: Optional[FaultPlan] = None,
+                 discover: bool = False,
+                 schedule_policy=None,
+                 failover_at: Optional[float] = None,
+                 builds: bool = True,
+                 config: Optional[SystemConfig] = None,
+                 horizon: float = 60_000.0):
+    """Run the full scenario; returns ``(cluster, driver, summary,
+    injector)``.  Raises :class:`ConsistencyError` if the cluster fails
+    to settle by ``horizon`` or any oracle check fails."""
+    cluster, driver = build_scenario(
+        replicas=replicas, records=records, operations=operations,
+        rate=rate, seed=seed, arrivals=arrivals, config=config)
+    injector = None
+    if fault_plan is not None or discover:
+        injector = FaultInjector(fault_plan, watch_processes=())
+        injector.install(cluster)
+    if schedule_policy is not None:
+        cluster.sim.schedule_policy = schedule_policy
+    driver.spawn()
+    if builds:
+        start_divergent_builds(cluster)
+    if failover_at is not None:
+        schedule_failover(cluster, failover_at)
+    cluster.settle(driver)
+    cluster.run(until=horizon)
+    if not cluster.settled:
+        raise ConsistencyError(
+            f"cluster did not settle by t={horizon} "
+            f"(seed={seed}, plan={fault_plan and fault_plan.describe()})")
+    cluster.run()  # drain the tail of already-scheduled events
+    summary = check_cluster(cluster, driver)
+    return cluster, driver, summary, injector

@@ -48,6 +48,24 @@ class TokenBucket:
             else max(1.0, self.rate)
         self.tokens = self.burst
         self._last_refill = sim.now
+        self._custom_burst = burst is not None
+
+    def set_rate(self, rate: float) -> None:
+        """Retune the bucket's rate in place (adaptive throttling).
+
+        Tokens accrued so far are settled at the *old* rate first, so a
+        mid-flight rate change never retroactively re-prices elapsed
+        time.  Unless the caller pinned an explicit burst at
+        construction, the burst follows the default policy
+        (``max(1.0, rate)``) and the token level is clamped to it.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        self._refill()
+        self.rate = float(rate)
+        if not self._custom_burst:
+            self.burst = max(1.0, self.rate)
+        self.tokens = min(self.tokens, self.burst)
 
     def _refill(self) -> None:
         now = self.sim.now

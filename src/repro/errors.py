@@ -73,5 +73,14 @@ class SystemCrash(ReproError):
     """
 
 
+class NodeDown(ReproError):
+    """A cluster node failed while this process was running on it.
+
+    Deliberately *not* a :class:`SystemCrash`: in a multi-node cluster the
+    shared simulator must keep running the surviving nodes, so node death
+    unwinds only the processes resident on the dead node.
+    """
+
+
 class SortRestartError(ReproError):
     """Restartable-sort checkpoint state is missing or inconsistent."""

@@ -128,6 +128,13 @@ SITE_DOCS = {
         "a merged run sealed and its inputs discarded (atomic)",
     "psf.merge_shard_done": "one shard's runs collapsed to the merge target",
     "psf.merge_done": "every shard merge worker joined",
+    # replication cluster (repro.cluster)
+    "cluster.ship":
+        "a shipped WAL batch arrived at a replica, not yet applied",
+    "cluster.apply":
+        "a replica is about to redo one shipped batch locally",
+    "cluster.promote":
+        "failover chose a candidate, promotion not yet complete",
 }
 
 

@@ -46,6 +46,51 @@ def restart(crashed: System, config: Optional[SystemConfig] = None,
     crashed.crash()  # idempotent: ensures volatile state is gone
     system = System(config or crashed.config,
                     disk=crashed.disk, log=crashed.log)
+    txn_table, redo_start, utility_state = \
+        _prepare_restart(crashed, system, pre_undo)
+
+    proc = system.spawn(_redo_then_undo(system, txn_table, redo_start),
+                        name="restart-recovery")
+    system.run()
+    if proc.error is not None:  # pragma: no cover - recovery bug
+        raise proc.error
+
+    _recover_page_counts(system)
+    system.metrics.incr("recovery.restarts")
+    return system, utility_state
+
+
+def restart_on(crashed: System, sim,
+               config: Optional[SystemConfig] = None,
+               pre_undo: Optional[PreUndoHook] = None):
+    """Generator form of :func:`restart` for an already-running simulator.
+
+    A cluster node recovers *while the rest of the cluster keeps
+    running*: the new system joins the shared ``sim`` and the redo/undo
+    pass executes inline in the calling process instead of draining a
+    private simulator.  Returns ``(new_system, utility_state)``.
+    """
+    crashed.crash()
+    system = System(config or crashed.config,
+                    disk=crashed.disk, log=crashed.log, sim=sim)
+    txn_table, redo_start, utility_state = \
+        _prepare_restart(crashed, system, pre_undo)
+    yield from _redo_then_undo(system, txn_table, redo_start)
+    _recover_page_counts(system)
+    system.metrics.incr("recovery.restarts")
+    return system, utility_state
+
+
+def _prepare_restart(crashed: System, system: System,
+                     pre_undo: Optional[PreUndoHook]
+                     ) -> tuple[dict, int, dict]:
+    """Synchronous recovery prep shared by :func:`restart`/:func:`restart_on`.
+
+    Carries the tracer across the crash boundary, rebuilds the catalog,
+    runs analysis, and plans torn-tree strategies; returns the
+    ``(txn_table, redo_start, utility_state)`` inputs the redo/undo pass
+    needs.
+    """
     # Carry the trace recorder across the crash boundary: one trace tells
     # the whole build-crash-recover story.  Re-binding advances the
     # recorder's time base so the new simulator's t=0 lands at the crash
@@ -71,16 +116,7 @@ def restart(crashed: System, config: Optional[SystemConfig] = None,
 
     if pre_undo is not None:
         pre_undo(system, utility_state)
-
-    proc = system.spawn(_redo_then_undo(system, txn_table, redo_start),
-                        name="restart-recovery")
-    system.run()
-    if proc.error is not None:  # pragma: no cover - recovery bug
-        raise proc.error
-
-    _recover_page_counts(system)
-    system.metrics.incr("recovery.restarts")
-    return system, utility_state
+    return txn_table, redo_start, utility_state
 
 
 def _collect_utility_states(checkpoint, utility_state: dict) -> dict:

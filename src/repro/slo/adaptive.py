@@ -1,0 +1,129 @@
+"""Adaptive IB throttling: a feedback controller on windowed p99.
+
+PR 6 added static admission control (``SystemConfig.build_rate_limit``,
+a :class:`~repro.core.throttle.TokenBucket` shared by every builder
+batch loop) and an offline tradeoff curve.  This module closes the
+loop: :class:`AdaptiveThrottleController` is a simulated process that
+periodically measures the foreground p99 over a sliding window and
+retunes the live bucket via :meth:`TokenBucket.set_rate` --
+multiplicative backoff when the SLO is violated, gentle additive-style
+opening when there is headroom.  AIMD is the classic stable choice for
+this kind of congestion controller; the asymmetry (fast backoff, slow
+recovery) keeps the build from oscillating the foreground latency
+around the target.
+
+The latency source is injectable: production wiring samples the
+open-loop driver's completed-op latencies, unit tests feed synthetic
+populations.  The controller only ever touches the bucket's rate, so
+the crash-safety story is unchanged -- the rate is volatile tuning
+state, and a post-crash resume simply starts again from the configured
+``build_rate_limit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.throttle import TokenBucket
+from repro.sim.kernel import Delay
+from repro.slo.analyzer import percentile
+
+#: sample a (time, latency) population; the controller windows it itself
+LatencySource = Callable[[], list[tuple[float, float]]]
+
+
+@dataclass
+class AdaptiveThrottleConfig:
+    """Tuning knobs for :class:`AdaptiveThrottleController`."""
+
+    #: windowed foreground p99 the controller steers toward
+    p99_target: float
+    #: how often (simulated time) the controller re-evaluates
+    interval: float = 20.0
+    #: sliding-window width; completions older than this are ignored
+    window: float = 40.0
+    #: multiplicative backoff applied while p99 exceeds the target
+    backoff: float = 0.5
+    #: multiplicative opening applied while p99 is under the target
+    step_up: float = 1.25
+    #: rate clamp: the build is never starved below this
+    min_rate: float = 0.01
+    #: rate clamp: nor opened beyond this
+    max_rate: float = 1_000.0
+    #: need at least this many window samples to act on a measurement
+    min_samples: int = 5
+
+
+class AdaptiveThrottleController:
+    """Feedback loop tuning a live token bucket toward a p99 target.
+
+    ``latencies`` returns ``(completion_time, latency)`` pairs for
+    foreground ops observed so far (e.g. from
+    ``OpenLoopDriver.latencies()``); each tick the controller keeps the
+    pairs completed within the trailing ``window`` and compares their
+    p99 to the target.  Too slow -> the bucket rate is multiplied by
+    ``backoff``; under target (or no traffic at all -- an idle system
+    has no reason to hold the build back) -> multiplied by ``step_up``,
+    always clamped to ``[min_rate, max_rate]``.
+    """
+
+    def __init__(self, system, bucket: TokenBucket,
+                 latencies: LatencySource,
+                 config: AdaptiveThrottleConfig) -> None:
+        if config.p99_target <= 0:
+            raise ValueError("p99_target must be positive")
+        self.system = system
+        self.bucket = bucket
+        self.latencies = latencies
+        self.config = config
+        self.stop_requested = False
+        #: (time, p99-or-None, new_rate) per tick, for tests and reports
+        self.history: list[tuple[float, Optional[float], float]] = []
+
+    def stop(self) -> None:
+        """Ask the controller loop to exit at its next tick."""
+        self.stop_requested = True
+
+    def measure(self) -> Optional[float]:
+        """Windowed p99 of the latency source, or None when too sparse."""
+        now = self.system.sim.now
+        cutoff = now - self.config.window
+        sample = [latency for completed, latency in self.latencies()
+                  if completed >= cutoff]
+        if len(sample) < self.config.min_samples:
+            return None
+        return percentile(sample, 99.0)
+
+    def tick(self) -> Optional[float]:
+        """One control decision: measure, retune, record.  Returns p99."""
+        cfg = self.config
+        p99 = self.measure()
+        if p99 is not None and p99 > cfg.p99_target:
+            proposed = self.bucket.rate * cfg.backoff
+            self.system.metrics.incr("throttle.backoffs")
+        else:
+            # Under target, or idle: open the build back up.
+            proposed = self.bucket.rate * cfg.step_up
+            self.system.metrics.incr("throttle.step_ups")
+        new_rate = min(cfg.max_rate, max(cfg.min_rate, proposed))
+        if new_rate != self.bucket.rate:
+            self.bucket.set_rate(new_rate)
+        now = self.system.sim.now
+        self.history.append((now, p99, new_rate))
+        tracer = getattr(self.system.metrics, "tracer", None)
+        if tracer is not None:
+            tracer.gauge("throttle.rate", new_rate,
+                         p99=p99 if p99 is not None else -1.0)
+        return p99
+
+    def run(self):
+        """The controller process body; spawn on the system's simulator."""
+        while not self.stop_requested:
+            yield Delay(self.config.interval)
+            if self.stop_requested:
+                return
+            self.tick()
+
+    def spawn(self):
+        return self.system.spawn(self.run(), name="adaptive-throttle")

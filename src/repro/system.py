@@ -102,11 +102,14 @@ class System:
     def __init__(self, config: Optional[SystemConfig] = None,
                  seed: int = 0, *,
                  disk: Optional[Disk] = None,
-                 log: Optional[LogManager] = None) -> None:
+                 log: Optional[LogManager] = None,
+                 sim: Optional[Simulator] = None) -> None:
         self.config = config or SystemConfig()
         self.metrics = MetricsRegistry()
         self.rng = random.Random(seed)
-        self.sim = Simulator()
+        # A cluster (repro.cluster) runs several systems on one shared
+        # clock; each standalone system otherwise owns its simulator.
+        self.sim = sim if sim is not None else Simulator()
         self.disk = disk if disk is not None else Disk(metrics=self.metrics)
         # A disk carried over from a crashed system keeps its own metrics.
         if disk is not None:

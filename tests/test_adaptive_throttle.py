@@ -1,0 +1,179 @@
+"""Adaptive build throttling: live retuning of the IB token bucket
+(``TokenBucket.set_rate``) and the AIMD feedback controller that backs
+off under foreground load and opens the build up when idle."""
+
+import pytest
+
+from repro.core.throttle import TokenBucket
+from repro.sim import Delay, Simulator
+from repro.slo.adaptive import AdaptiveThrottleConfig, AdaptiveThrottleController
+from repro.system import System, SystemConfig
+
+
+def _controller(system, rate=16.0, **overrides):
+    """A controller over a synthetic latency source the test mutates."""
+    samples: list[tuple[float, float]] = []
+    config = AdaptiveThrottleConfig(**{
+        "p99_target": 5.0, "interval": 10.0, "window": 40.0,
+        "min_samples": 3, "min_rate": 1.0, "max_rate": 64.0,
+        **overrides})
+    bucket = TokenBucket(system.sim, rate)
+    controller = AdaptiveThrottleController(
+        system, bucket, lambda: list(samples), config)
+    return controller, bucket, samples
+
+
+# -- TokenBucket.set_rate ----------------------------------------------------
+
+
+def test_set_rate_retunes_rate_and_default_burst():
+    sim = Simulator()
+    bucket = TokenBucket(sim, 4.0)
+    assert bucket.burst == 4.0
+    bucket.set_rate(10.0)
+    assert bucket.rate == 10.0
+    assert bucket.burst == 10.0
+    bucket.set_rate(0.25)  # default burst never drops below one unit
+    assert bucket.burst == 1.0
+    assert bucket.tokens <= bucket.burst
+
+
+def test_set_rate_keeps_explicitly_pinned_burst():
+    sim = Simulator()
+    bucket = TokenBucket(sim, 4.0, burst=7.0)
+    bucket.set_rate(50.0)
+    assert bucket.burst == 7.0
+
+
+def test_set_rate_rejects_nonpositive_rates():
+    bucket = TokenBucket(Simulator(), 4.0)
+    with pytest.raises(ValueError):
+        bucket.set_rate(0.0)
+    with pytest.raises(ValueError):
+        bucket.set_rate(-1.0)
+
+
+def test_set_rate_settles_elapsed_time_at_the_old_rate():
+    sim = Simulator()
+    bucket = TokenBucket(sim, 2.0)  # burst 2.0, starts full
+
+    def body():
+        yield from bucket.acquire(2.0)  # drain to exactly zero
+        yield Delay(0.5)                # accrues 0.5 * old rate = 1 token
+        bucket.set_rate(100.0)
+
+    sim.spawn(body(), name="driver")
+    sim.run()
+    # Had the elapsed half unit been re-priced at the new rate, the
+    # bucket would hold 50 tokens here instead of 1.
+    assert bucket.tokens == pytest.approx(1.0)
+
+
+def test_set_rate_clamps_tokens_to_the_shrunken_burst():
+    sim = Simulator()
+    bucket = TokenBucket(sim, 8.0)  # burst 8.0, tokens 8.0
+    bucket.set_rate(2.0)
+    assert bucket.burst == 2.0
+    assert bucket.tokens == 2.0
+
+
+# -- controller decisions ----------------------------------------------------
+
+
+def test_controller_backs_off_under_load():
+    system = System(SystemConfig())
+    controller, bucket, samples = _controller(system, rate=16.0)
+    samples.extend([(0.0, 50.0)] * 8)  # p99 well past the 5.0 target
+    p99 = controller.tick()
+    assert p99 == pytest.approx(50.0)
+    assert bucket.rate == pytest.approx(8.0)
+    assert system.metrics.get("throttle.backoffs") == 1
+    controller.tick()
+    assert bucket.rate == pytest.approx(4.0)
+    assert controller.history[-1] == (0.0, pytest.approx(50.0),
+                                      pytest.approx(4.0))
+
+
+def test_controller_never_starves_the_build_below_min_rate():
+    system = System(SystemConfig())
+    controller, bucket, samples = _controller(system, rate=16.0,
+                                              min_rate=3.0)
+    samples.extend([(0.0, 50.0)] * 8)
+    for _ in range(6):
+        controller.tick()
+    assert bucket.rate == 3.0
+
+
+def test_controller_opens_up_when_idle():
+    system = System(SystemConfig())
+    controller, bucket, samples = _controller(system, rate=16.0)
+    # No traffic at all: an idle system has no reason to hold the
+    # build back, so the controller steps the rate up (clamped).
+    for _ in range(10):
+        controller.tick()
+    assert bucket.rate == 64.0
+    assert system.metrics.get("throttle.step_ups") == 10
+    assert system.metrics.get("throttle.backoffs") == 0
+    assert controller.history[0][1] is None  # no p99 measurable
+
+
+def test_controller_opens_up_under_target():
+    system = System(SystemConfig())
+    controller, bucket, samples = _controller(system, rate=16.0)
+    samples.extend([(0.0, 1.0)] * 8)  # comfortably under target
+    controller.tick()
+    assert bucket.rate == pytest.approx(20.0)
+    assert system.metrics.get("throttle.step_ups") == 1
+
+
+def test_measurement_window_ignores_stale_completions():
+    system = System(SystemConfig())
+    controller, bucket, samples = _controller(system, rate=16.0)
+
+    def advance():
+        yield Delay(100.0)
+
+    system.spawn(advance(), name="clock")
+    system.sim.run()
+    samples.extend([(10.0, 999.0)] * 8)  # completed long before the window
+    assert controller.measure() is None
+    controller.tick()  # stale load reads as idle -> opens up
+    assert bucket.rate == pytest.approx(20.0)
+    samples.extend([(90.0, 999.0)] * 8)  # recent load -> backs off
+    controller.tick()
+    assert bucket.rate == pytest.approx(10.0)
+
+
+def test_measurement_requires_min_samples():
+    system = System(SystemConfig())
+    controller, _bucket, samples = _controller(system, min_samples=5)
+    samples.extend([(0.0, 50.0)] * 4)
+    assert controller.measure() is None
+    samples.append((0.0, 50.0))
+    assert controller.measure() == pytest.approx(50.0)
+
+
+def test_rejects_nonpositive_target():
+    system = System(SystemConfig())
+    with pytest.raises(ValueError):
+        AdaptiveThrottleController(
+            system, TokenBucket(system.sim, 1.0), lambda: [],
+            AdaptiveThrottleConfig(p99_target=0.0))
+
+
+# -- the controller as a process ---------------------------------------------
+
+
+def test_controller_process_ticks_on_its_interval_and_stops():
+    system = System(SystemConfig())
+    controller, bucket, samples = _controller(system, rate=16.0,
+                                              interval=10.0)
+    samples.extend([(0.0, 50.0)] * 8)
+    proc = controller.spawn()
+    system.sim.run(until=35.0)  # ticks at t=10, 20, 30
+    assert len(controller.history) == 3
+    assert bucket.rate == pytest.approx(2.0)
+    controller.stop()
+    system.sim.run()  # drains: the loop exits at its next wake-up
+    assert proc.finished
+    assert len(controller.history) == 3  # no tick after stop()
