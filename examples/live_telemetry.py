@@ -1,0 +1,120 @@
+"""Live telemetry: a build that observes itself well enough to steer.
+
+This is the telemetry tour (see README "Live telemetry" and
+EXPERIMENTS.md E24): an SF online build runs under a hot insert/delete
+stream with every layer of the telemetry stack attached --
+
+* a progress tracker computing phase fractions, an ETA on the simulated
+  clock, and a drain convergence verdict;
+* a health monitor alerting on a deliberately tight side-file backlog
+  threshold;
+* the adaptive AIMD throttle steering on the live latency histogram
+  (its default source -- no callback injected here);
+
+-- and the build starts admission-throttled at a rate that cannot keep
+up with the appends.  The tracker flags it ``diverging``, the backlog
+alert fires, the controller opens the throttle, and the same run ends
+converged with the alert cleared.  The final ASCII dashboard frame and
+a slice of the Prometheus export show the whole arc.
+
+Run:  python examples/live_telemetry.py
+"""
+
+from repro import (
+    BuildOptions,
+    IndexSpec,
+    System,
+    SystemConfig,
+    WorkloadDriver,
+    WorkloadSpec,
+    audit_index,
+)
+from repro.core import get_builder
+from repro.obs import AlertRule, enable_health, enable_progress, \
+    enable_tracing
+from repro.obs.dashboard import render_live
+from repro.obs.export import export_prometheus
+from repro.sim.kernel import Delay
+from repro.slo.adaptive import AdaptiveThrottleConfig, \
+    AdaptiveThrottleController
+
+ROWS = 300
+START_RATE = 3.0  # too slow for the drain while the stream runs
+
+
+def main() -> None:
+    system = System(SystemConfig(page_capacity=8, leaf_capacity=8,
+                                 sort_workspace=32,
+                                 build_rate_limit=START_RATE), seed=7)
+    recorder = enable_tracing(system)
+    tracker = enable_progress(system)
+    table = system.create_table("t", ["k", "p"])
+    spec = WorkloadSpec(operations=120, workers=3, think_time=0.4,
+                        rollback_fraction=0.0, update_weight=0.0)
+    driver = WorkloadDriver(system, table, spec, seed=7)
+    preload = system.spawn(driver.preload(ROWS), name="preload")
+    system.run()
+    assert preload.error is None
+
+    # The monitor's sampler exits with the simulation, so arm it after
+    # the preload run, alongside the processes it will watch.
+    monitor = enable_health(
+        system,
+        rules=[AlertRule("drain-backlog", "sidefile.backlog", op=">",
+                         threshold=8.0, for_ticks=2, clear_ticks=2)],
+        sample_every=10.0)
+    controller = AdaptiveThrottleController(
+        system, system.build_bucket(START_RATE),
+        config=AdaptiveThrottleConfig(p99_target=5.0, interval=80.0,
+                                      window=160.0, min_samples=3,
+                                      min_rate=1.0, max_rate=64.0))
+    controller.spawn()
+    builder = get_builder("sf")(
+        system, table, IndexSpec.of("idx", ["k"]),
+        options=BuildOptions(checkpoint_every_keys=64, drain_batch=4))
+    proc = system.spawn(builder.run(), name="builder")
+    driver.spawn_workers()
+    print(f"SF build of idx over {ROWS} rows, throttled to "
+          f"{START_RATE:.0f} ops/t, adaptive controller attached")
+
+    def narrate():
+        while not proc.finished:
+            yield Delay(20.0)
+            state = tracker.snapshot().get("idx")
+            if state is None:
+                continue
+            eta = "?" if state["eta"] is None \
+                else f"{state['eta']:.0f}"
+            firing = ",".join(monitor.firing) or "-"
+            print(f"t={system.now():6.1f}  {state['fraction']:6.1%}  "
+                  f"phase={state['phase']:<11} "
+                  f"verdict={state['verdict']:<10} eta={eta:>4} "
+                  f"rate={controller.bucket.rate:5.1f} "
+                  f"alerts={firing}")
+        controller.stop()
+
+    system.spawn(narrate(), name="narrator")
+    system.run()
+    assert proc.error is None
+
+    report = audit_index(system, system.indexes["idx"])
+    diverging = sum(1 for e in recorder.events
+                    if e["name"] == "build.diverging")
+    fired = system.metrics.get("health.alerts_fired")
+    cleared = system.metrics.get("health.alerts_cleared")
+    print(f"\nbuild done at t={system.now():.1f}: {report['entries']} "
+          f"entries audited clean; flagged diverging {diverging}x, "
+          f"alerts fired/cleared {fired}/{cleared}, throttle opened "
+          f"{START_RATE:.0f} -> {controller.bucket.rate:.1f}\n")
+
+    print(render_live(system, tracker, monitor))
+    print("prometheus export (build + alert families):")
+    for line in export_prometheus(system, monitor).splitlines():
+        if line.startswith(("repro_build_progress",
+                            "repro_build_eta_seconds",
+                            "repro_alert_firing")):
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -130,6 +130,12 @@ class BuilderBase:
         label = "+".join(spec.name for spec in self.specs)
         self._throttle_charges_metric = f"build.throttle_charges.{label}"
         self._throttle_waits_metric = f"build.throttle_waits.{label}"
+        #: live progress handle (see :mod:`repro.obs.progress`); None
+        #: unless a tracker is installed as ``metrics.progress`` -- the
+        #: same zero-cost-disabled contract as ``metrics.tracer``.
+        tracker = system.metrics.progress
+        self._progress = tracker.register(self) \
+            if tracker is not None else None
 
     # -- option resolution -------------------------------------------------
 
@@ -291,6 +297,7 @@ class BuilderBase:
                 fault_point(self.system.metrics, "build.scan_page")
             pages_since_checkpoint += len(batch_ids)
             page_no = upto
+            self._progress_scan(len(batch_ids), last_page)
             if checkpoint_every is not None \
                     and pages_since_checkpoint >= checkpoint_every \
                     and page_no < last_page:
@@ -315,6 +322,7 @@ class BuilderBase:
         last_page = table.page_count
         readers = max(1, self.options.parallel_readers)
         stripe = max(1, (last_page - start_page + readers - 1) // readers)
+        self._progress_scan(0, last_page)
 
         extractors = [(d.key_of, self._sorters[d.name].push)
                       for d in self.descriptors]
@@ -343,6 +351,7 @@ class BuilderBase:
                         page.latch.release(self.system.sim.current)
                     self.system.metrics.incr("build.pages_scanned")
                 page_no = upto
+                self._progress_scan(len(batch_ids), 0)
 
         from repro.sim.kernel import Join
         procs = []
@@ -425,6 +434,11 @@ class BuilderBase:
         # Only added when throttled: unthrottled payloads stay unchanged.
         if self._rate_bucket is not None:
             payload["build_rate_limit"] = self._rate_bucket.rate
+        # Progress state rides along only when tracking is enabled, the
+        # same conditional-key discipline as the rate limit: untracked
+        # checkpoint payloads stay byte-identical.
+        if self._progress is not None:
+            payload["progress"] = self._progress.checkpoint_state()
         payload.update(state)
         if self.context is not None:
             payload["current_rid"] = tuple(self.context.current_rid)
@@ -457,6 +471,43 @@ class BuilderBase:
 
     def _mark(self, label: str) -> None:
         self.timings[label] = self.system.sim.now
+
+    # -- progress helpers (zero-cost when metrics.progress is None) ----------
+    #
+    # All of these are pure bookkeeping: no yields, no simulated time, no
+    # counters -- enabling tracking cannot perturb the schedule, and the
+    # disabled path costs one attribute test (the ``fault_point`` /
+    # ``tracer`` contract).
+
+    def _progress_scan(self, advanced: int, total: int) -> None:
+        if self._progress is not None:
+            self._progress.scan(advanced, total)
+
+    def _progress_units(self, key: str, done: int, total: int) -> None:
+        if self._progress is not None:
+            self._progress.units(key, done, total)
+
+    def _progress_drain(self, key: str, position: int, total: int) -> None:
+        if self._progress is not None:
+            self._progress.drain(key, position, total)
+
+    def _progress_phase_done(self, key: str) -> None:
+        if self._progress is not None:
+            self._progress.phase_done(key)
+
+    def _progress_finish(self) -> None:
+        if self._progress is not None:
+            self._progress.finish()
+
+    def _restore_progress(self, utility_state: dict) -> None:
+        """Adopt the checkpointed progress baseline on resume (companion
+        to :meth:`_restore_throttle`): the resumed build reports the
+        crashed build's completion floor, never 0%."""
+        if self._progress is None:
+            return
+        state = utility_state.get("progress")
+        if state:
+            self._progress.restore(state)
 
     # -- trace helpers (zero-cost when metrics.tracer is None) ----------------------------------
 

@@ -67,6 +67,8 @@ class SideFileDrainer:
                 yield from tree.sf_drain_apply_batch(ib_txn, batch)
                 self.system.metrics.incr("build.sidefile_drained", take)
                 sidefile.drain_position = position
+                self._progress_drain(f"drain:{descriptor.name}",
+                                     position, len(sidefile.entries))
                 if tracer is not None:
                     tracer.gauge("sidefile.backlog",
                                  len(sidefile.entries) - position,
@@ -99,6 +101,7 @@ class SideFileDrainer:
                     self.context.descriptors.remove(descriptor)
                 self._trace_instant("sf.flip", index=descriptor.name,
                                     position=position)
+                self._progress_phase_done(f"drain:{descriptor.name}")
                 fault_point(self.system.metrics, "sf.flag_flip.after")
                 break
         tree.verify_unique()

@@ -66,6 +66,7 @@ class NSFIndexBuilder(BuilderBase):
             yield from self._scan_phase(scan_start)
             runs_by_index = self._finish_sort()
             self._mark("scan_done")
+            self._progress_phase_done("scan")
             # Transition checkpoint: a crash from here resumes by
             # rebuilding the final merge from the forced, closed runs.
             self._write_utility_checkpoint({
@@ -88,6 +89,7 @@ class NSFIndexBuilder(BuilderBase):
         self._remove_context()
         self._write_utility_checkpoint({"phase": "done"})
         self._mark("done")
+        self._progress_finish()
         self._trace_end("build")
         return self.descriptors
 
@@ -143,6 +145,9 @@ class NSFIndexBuilder(BuilderBase):
         cursor = IBCursor()
         since_commit = 0
         since_checkpoint = 0
+        inserted = 0
+        keys_total = self._store_for(descriptor).total_keys() \
+            if self._progress is not None else 0
         highest = None
         commit_every = self.options.commit_every_keys
         checkpoint_every = self.options.checkpoint_every_keys
@@ -156,6 +161,9 @@ class NSFIndexBuilder(BuilderBase):
             highest = batch[-1]
             since_commit += len(batch)
             since_checkpoint += len(batch)
+            inserted += len(batch)
+            self._progress_units(f"insert:{descriptor.name}",
+                                 inserted, keys_total)
             if commit_every and since_commit >= commit_every:
                 yield from ib_txn.commit()
                 fault_point(self.system.metrics, "nsf.ib_commit")
@@ -195,6 +203,7 @@ class NSFIndexBuilder(BuilderBase):
         if highest is not None:
             descriptor.read_watermark = highest
             self._trace_watermark(descriptor, highest)
+        self._progress_phase_done(f"insert:{descriptor.name}")
         self._trace_end(f"insert:{descriptor.name}")
         self._mark(f"insert_done:{descriptor.name}")
         fault_point(self.system.metrics, "nsf.insert_done")
@@ -219,6 +228,7 @@ class NSFIndexBuilder(BuilderBase):
         install_maintenance(system, table)
         builder._resume_state = utility_state
         builder._restore_throttle(utility_state)
+        builder._restore_progress(utility_state)
         return builder
 
     def _prepare_resume(self):

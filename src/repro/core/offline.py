@@ -45,6 +45,7 @@ class OfflineIndexBuilder(BuilderBase):
                 yield from self._scan_and_sort()
             runs_by_index = self._finish_sort()
             self._mark("scan_done")
+            self._progress_phase_done("scan")
             for descriptor in self.descriptors:
                 self._trace_begin("load", key=f"load:{descriptor.name}",
                                   index=descriptor.name)
@@ -54,6 +55,8 @@ class OfflineIndexBuilder(BuilderBase):
                     descriptor.tree,
                     fill_free_fraction=self.options.fill_free_fraction)
                 loaded = 0
+                keys_total = self._store_for(descriptor).total_keys() \
+                    if self._progress is not None else 0
                 while merger is not None:
                     key = merger.pop()
                     if key is None:
@@ -64,8 +67,11 @@ class OfflineIndexBuilder(BuilderBase):
                         yield from self._throttle(64)
                         yield Delay(
                             64 * self.system.config.bulk_load_key_cost)
+                        self._progress_units(f"load:{descriptor.name}",
+                                             loaded, keys_total)
                 loader.finish()
                 descriptor.tree.force()
+                self._progress_phase_done(f"load:{descriptor.name}")
                 self._trace_end(f"load:{descriptor.name}", keys=loaded)
             self._mark_available()
             self._mark("built")
@@ -78,5 +84,6 @@ class OfflineIndexBuilder(BuilderBase):
             held=self.system.sim.now - self.timings["quiesced"])
         self._write_utility_checkpoint({"phase": "done"})
         self._mark("done")
+        self._progress_finish()
         self._trace_end("build")
         return self.descriptors

@@ -82,6 +82,7 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
             self.context.current_rid = INFINITY_RID
             runs_by_index = self._finish_sort()
             self._mark("scan_done")
+            self._progress_phase_done("scan")
             fault_point(self.system.metrics, "sf.scan_done")
             # Transition checkpoint: a crash from here resumes by
             # rebuilding the merge from the forced, closed runs.
@@ -98,6 +99,7 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
         self._remove_context()
         self._write_utility_checkpoint({"phase": "done"})
         self._mark("done")
+        self._progress_finish()
         self._trace_end("build")
         return self.descriptors
 
@@ -179,6 +181,11 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
         self._trace_begin("load", key=f"load:{descriptor.name}",
                           index=descriptor.name)
         keys_loaded = 0
+        # Keys awaiting load = what the (post-merge-pass) run store holds;
+        # resumed loads see only the remaining runs, which is still the
+        # right denominator for *this* phase's completion fraction.
+        keys_total = self._store_for(descriptor).total_keys() \
+            if self._progress is not None else 0
         if loader is None:
             # resume() degrades to a fresh loader on an empty tree, and
             # continues after the checkpointed right-most path otherwise
@@ -201,6 +208,8 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
                 yield Delay(since_yield
                             * self.system.config.bulk_load_key_cost)
                 since_yield = 0
+                self._progress_units(f"load:{descriptor.name}",
+                                     keys_loaded, keys_total)
                 fault_point(self.system.metrics, "sf.load_batch")
             if checkpoint_every and since_checkpoint >= checkpoint_every:
                 # Atomic trio: force tree, checkpoint merge counters,
@@ -220,6 +229,7 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
             yield Delay(since_yield * self.system.config.bulk_load_key_cost)
         loader.finish()
         tree.force()
+        self._progress_phase_done(f"load:{descriptor.name}")
         self._trace_end(f"load:{descriptor.name}", keys=keys_loaded)
         self._mark(f"load_done:{descriptor.name}")
         fault_point(self.system.metrics, "sf.load_done")
@@ -252,6 +262,7 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
         builder.context = context
         builder._resume_state = utility_state
         builder._restore_throttle(utility_state)
+        builder._restore_progress(utility_state)
         return builder
 
     def _prepare_resume(self):

@@ -1,5 +1,6 @@
 """Metrics collection for the simulated DBMS."""
 
+from repro.metrics.hist import StreamingHistogram, log2_bounds
 from repro.metrics.partition import (
     partition_skew,
     partition_values,
@@ -10,6 +11,8 @@ from repro.metrics.registry import MetricsRegistry, SeriesStat
 __all__ = [
     "MetricsRegistry",
     "SeriesStat",
+    "StreamingHistogram",
+    "log2_bounds",
     "partition_skew",
     "partition_values",
     "skew_summary",

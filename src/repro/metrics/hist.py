@@ -1,0 +1,217 @@
+"""Fixed-bucket streaming latency histograms.
+
+``repro.slo.analyzer`` computes exact nearest-rank percentiles, but only
+*after the fact*, by post-processing a trace.  A live system needs
+p50/p95/p99 *online*, without retaining raw samples.
+:class:`StreamingHistogram` is the classic answer: a fixed set of
+log2-spaced bucket bounds, one counter per bucket, O(1) ``observe`` and
+O(buckets) ``quantile``.
+
+Accuracy contract: :meth:`quantile` returns the upper bound of the
+bucket holding the nearest-rank sample (clamped to the observed
+min/max), so the estimate is always within **one bucket width** of the
+exact nearest-rank value on the same population -- with power-of-two
+bounds that is a <= 2x relative error, plenty for threshold alerting and
+AIMD steering.  Tests cross-check this against
+:func:`repro.slo.analyzer.percentile`.
+
+Histograms are mergeable (cross-node dashboard aggregation) and support
+the same snapshot/delta discipline as
+:class:`repro.metrics.registry.SeriesStat`, so a sampler can compute
+*windowed* quantiles from the difference of two cumulative snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+#: default bounds: 2^-10 .. 2^30 in log2 steps (41 finite bounds).
+#: Simulated latencies live in roughly [0.5, 10^4]; the wide tails keep
+#: one default usable for byte counts and backlogs too.
+DEFAULT_MIN_EXP = -10
+DEFAULT_MAX_EXP = 30
+
+
+def log2_bounds(min_exp: int = DEFAULT_MIN_EXP,
+                max_exp: int = DEFAULT_MAX_EXP) -> tuple[float, ...]:
+    """Finite bucket upper bounds ``2**min_exp .. 2**max_exp``."""
+    if max_exp <= min_exp:
+        raise ValueError("max_exp must exceed min_exp")
+    return tuple(float(2.0 ** e) for e in range(min_exp, max_exp + 1))
+
+
+class StreamingHistogram:
+    """Counts of observations per fixed log2-spaced bucket.
+
+    Bucket ``i`` counts values in ``(bounds[i-1], bounds[i]]``; bucket 0
+    is the underflow bucket (everything ``<= bounds[0]``, including
+    zeros and negatives) and one extra overflow bucket counts values
+    above the last finite bound.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "_min", "_max")
+
+    def __init__(self, bounds: Optional[Iterable[float]] = None) -> None:
+        self.bounds: tuple[float, ...] = (tuple(bounds) if bounds is not None
+                                          else log2_bounds())
+        if any(b <= a for a, b in zip(self.bounds, self.bounds[1:])):
+            raise ValueError("bounds must be strictly increasing")
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # -- recording -----------------------------------------------------------
+
+    def bucket_index(self, value: float) -> int:
+        """Index of the bucket ``value`` falls into (overflow = last)."""
+        bounds = self.bounds
+        if value <= bounds[0]:
+            return 0
+        if value > bounds[-1]:
+            return len(bounds)
+        # log2-spaced bounds admit O(1) indexing; fall back to bisection
+        # for custom bounds.
+        lo, hi = 0, len(bounds) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def observe(self, value: float) -> None:
+        """Record one sample (O(log buckets))."""
+        self.counts[self.bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank ``q``-th percentile estimate (``0 < q <= 100``).
+
+        Returns the upper bound of the bucket containing the
+        nearest-rank sample, clamped into ``[minimum, maximum]`` -- so
+        the result differs from the exact nearest-rank value by at most
+        one bucket width.  Raises :class:`ValueError` on an empty
+        histogram, matching :func:`repro.slo.analyzer.percentile`.
+        """
+        if not 0 < q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        if self.count == 0:
+            raise ValueError("quantile of an empty histogram")
+        rank = math.ceil(q / 100.0 * self.count)  # 1-based nearest rank
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                upper = (self.bounds[i] if i < len(self.bounds)
+                         else self._max)
+                return min(max(upper, self._min), self._max)
+        return self._max  # unreachable: counts sum to count
+
+    def percentiles(self, qs: Iterable[float] = (50.0, 95.0, 99.0)
+                    ) -> dict[str, float]:
+        """Estimates for several quantiles, keyed ``p50`` style."""
+        return {f"p{q:g}": self.quantile(q) for q in qs}
+
+    def bucket_width(self, value: float) -> float:
+        """Width of the bucket ``value`` falls into (accuracy bound).
+
+        The overflow bucket is unbounded; its width reads as the
+        distance from the last finite bound to the observed maximum.
+        """
+        i = self.bucket_index(value)
+        if i == 0:
+            return self.bounds[0] - min(self.minimum, 0.0)
+        if i == len(self.bounds):
+            return max(self.maximum - self.bounds[-1], 0.0)
+        return self.bounds[i] - self.bounds[i - 1]
+
+    # -- merge / snapshot / delta -------------------------------------------
+
+    def copy(self) -> "StreamingHistogram":
+        out = StreamingHistogram(self.bounds)
+        out.counts = list(self.counts)
+        out.count = self.count
+        out.total = self.total
+        out._min = self._min
+        out._max = self._max
+        return out
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Fold ``other`` into self (count-weighted); returns self.
+
+        Requires identical bucket bounds -- cross-node aggregation only
+        makes sense over one bucketing scheme.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    def snapshot(self) -> dict:
+        """Serialisable summary (sparse buckets, sorted keys).
+
+        An empty histogram reports just ``{"count": 0}`` -- the same
+        explicit-emptiness contract as :meth:`SeriesStat.snapshot`.
+        """
+        if self.count == 0:
+            return {"count": 0}
+        out = {
+            "buckets": {str(i): n for i, n in enumerate(self.counts) if n},
+            "count": self.count,
+            "maximum": self._max,
+            "mean": self.mean,
+            "minimum": self._min,
+            "total": self.total,
+            **self.percentiles(),
+        }
+        return dict(sorted(out.items()))
+
+    def delta(self, before: "StreamingHistogram") -> "StreamingHistogram":
+        """Observations added since ``before`` (an earlier copy of self).
+
+        Like :meth:`SeriesStat.delta`, exact min/max of the window alone
+        are unrecoverable, so the delta carries the cumulative extremes
+        when anything landed in the window.
+        """
+        if before.bounds != self.bounds:
+            raise ValueError("cannot diff histograms with different bounds")
+        out = StreamingHistogram(self.bounds)
+        out.counts = [a - b for a, b in zip(self.counts, before.counts)]
+        out.count = self.count - before.count
+        out.total = self.total - before.total
+        if out.count:
+            out._min = self._min
+            out._max = self._max
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (f"StreamingHistogram(count={self.count}, "
+                f"mean={self.mean:.3g})")

@@ -50,8 +50,30 @@ class SeriesStat:
         """Largest observed value, or 0.0 with zero observations."""
         return self._max if self.count else 0.0
 
+    def merge(self, other: "SeriesStat") -> "SeriesStat":
+        """Fold ``other`` into self (count-weighted); returns self.
+
+        Needed for cross-node aggregation: a dashboard summing one
+        series over N replicas wants the population summary, not an
+        average of averages.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        return self
+
     def snapshot(self) -> dict[str, float]:
-        """Serialisable summary; min/max are 0.0 for an empty series."""
+        """Serialisable summary.
+
+        An empty series reports an explicit ``{"count": 0}`` record
+        instead of zero-filled min/max -- callers branch on emptiness
+        rather than trusting 0.0 extremes that were never observed.
+        """
+        if self.count == 0:
+            return {"count": 0}
         return {
             "count": self.count,
             "total": self.total,
@@ -81,6 +103,9 @@ class MetricsRegistry:
 
     counters: dict[str, int] = field(default_factory=dict)
     series: dict[str, SeriesStat] = field(default_factory=dict)
+    #: Named streaming histograms (see :mod:`repro.metrics.hist`);
+    #: populated lazily by :meth:`observe_hist`.
+    histograms: dict[str, Any] = field(default_factory=dict)
     #: Installed fault injector, if any (see :mod:`repro.faultinject`).
     fault_injector: Optional[Any] = field(default=None, repr=False,
                                           compare=False)
@@ -89,6 +114,11 @@ class MetricsRegistry:
     #: when it is None -- the same zero-cost-disabled contract as
     #: :attr:`fault_injector`.
     tracer: Optional[Any] = field(default=None, repr=False, compare=False)
+    #: Installed build-progress tracker, if any (see
+    #: :mod:`repro.obs.progress`).  Builders test this attribute and do
+    #: no progress bookkeeping when it is None -- the same
+    #: zero-cost-disabled contract as :attr:`tracer`.
+    progress: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Increase counter ``name`` by ``amount`` (creating it at 0).
@@ -118,9 +148,35 @@ class MetricsRegistry:
         """Summary for series ``name`` (empty summary if never observed)."""
         return self.series.get(name, SeriesStat())
 
+    def observe_hist(self, name: str, value: float) -> None:
+        """Record one sample into streaming histogram ``name``.
+
+        Histograms use the default log2-spaced bounds; pre-register a
+        :class:`~repro.metrics.hist.StreamingHistogram` in
+        :attr:`histograms` first to use custom bounds.
+        """
+        hist = self.histograms.get(name)
+        if hist is None:
+            from repro.metrics.hist import StreamingHistogram
+            hist = self.histograms[name] = StreamingHistogram()
+        hist.observe(value)
+
+    def hist(self, name: str):
+        """Histogram ``name`` (an empty default-bounds one if absent)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            from repro.metrics.hist import StreamingHistogram
+            hist = StreamingHistogram()
+        return hist
+
     def snapshot(self) -> dict[str, int]:
         """Copy of all counters, e.g. for before/after deltas."""
         return dict(self.counters)
+
+    def snapshot_hists(self) -> dict[str, dict]:
+        """Serialisable summaries of every histogram, sorted by name."""
+        return {name: self.histograms[name].snapshot()
+                for name in sorted(self.histograms)}
 
     def snapshot_stats(self) -> dict[str, dict[str, float]]:
         """Serialisable summaries of every value series, sorted by name.
@@ -145,3 +201,4 @@ class MetricsRegistry:
     def reset(self) -> None:
         self.counters.clear()
         self.series.clear()
+        self.histograms.clear()

@@ -86,6 +86,7 @@ class MultiIndexBuilder(SFIndexBuilder):
             self.context.current_rid = INFINITY_RID
             runs_by_index = self._finish_sort()
             self._mark("scan_done")
+            self._progress_phase_done("scan")
             fault_point(self.system.metrics, "multibuild.scan_done")
             for descriptor in self.descriptors:
                 self._manifest[descriptor.name] = {"status": "pending"}
@@ -103,6 +104,7 @@ class MultiIndexBuilder(SFIndexBuilder):
         self._remove_context()
         self._write_utility_checkpoint({"phase": "done"})
         self._mark("done")
+        self._progress_finish()
         self._trace_end("build")
         return self.descriptors
 
@@ -202,6 +204,7 @@ class MultiIndexBuilder(SFIndexBuilder):
         builder.context = context
         builder._resume_state = utility_state
         builder._restore_throttle(utility_state)
+        builder._restore_progress(utility_state)
         return builder
 
     def _prepare_multi_resume(self):

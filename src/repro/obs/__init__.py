@@ -21,6 +21,17 @@ The recorder survives :meth:`repro.system.System.crash` and
 system), so one trace spans the whole build-crash-recover story.
 """
 
+from repro.obs.health import (
+    AlertRule,
+    HealthMonitor,
+    default_rules,
+    enable_health,
+)
+from repro.obs.progress import (
+    BuildProgress,
+    ProgressTracker,
+    enable_progress,
+)
 from repro.obs.recorder import (
     TRACE_SCHEMA_VERSION,
     TraceRecorder,
@@ -43,7 +54,14 @@ def __getattr__(name):
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
+    "AlertRule",
+    "BuildProgress",
+    "HealthMonitor",
+    "ProgressTracker",
     "TraceRecorder",
+    "default_rules",
+    "enable_health",
+    "enable_progress",
     "enable_tracing",
     "key_metric",
     "load_events",

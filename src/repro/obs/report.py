@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro.obs.report TRACE.jsonl [--width N]
+    python -m repro.obs.report TRACE.jsonl [--width N] [--json]
 
 Reads a JSONL trace written by :class:`repro.obs.TraceRecorder` and
 renders:
@@ -18,6 +18,10 @@ renders:
   ``read_watermark`` progress, buffer dirty count): sample count,
   maximum and when it happened, final value;
 * an **instant census**.
+
+``--json`` emits the same analysis as a machine-readable document
+instead (:func:`report_json`): keys are sorted and the schema is
+stable, so downstream tooling can diff reports across runs.
 
 The module is also the import surface the perf suite and tests use:
 :func:`phase_durations` turns a raw event list into the per-phase
@@ -159,6 +163,85 @@ def phase_durations(events: list[dict]) -> dict[str, float]:
         durations[span.label] = durations.get(span.label, 0.0) \
             + span.duration(last_t)
     return durations
+
+
+# -- machine-readable report ---------------------------------------------------
+
+
+def report_json(events: list[dict]) -> dict:
+    """The report as a schema-stable document (see ``--json``).
+
+    Top-level keys: ``epochs``, ``events``, ``gauges``, ``instants``,
+    ``phases``, ``spans``, ``t0``, ``t1``.  Collections are sorted;
+    serialising with ``sort_keys=True`` yields byte-stable output for
+    equal traces.
+    """
+    if not events:
+        return {"epochs": 0, "events": 0, "gauges": {}, "instants": {},
+                "phases": {}, "spans": [], "t0": 0.0, "t1": 0.0}
+    spans = parse_spans(events)
+    t0 = min(event["t"] for event in events)
+    t1 = max(event["t"] for event in events)
+
+    span_docs = []
+    for span in spans:
+        doc = {
+            "crashed": span.crashed,
+            "depth": span.depth,
+            "duration": round(span.duration(t1), 6),
+            "end": None if span.crashed else round(span.end, 6),
+            "epoch": span.epoch,
+            "label": span.label,
+            "name": span.name,
+            "start": round(span.start, 6),
+        }
+        wal = span.end_attrs.get("wal_bytes")
+        if wal is not None:
+            doc["wal_bytes"] = wal
+        notes = _notes(span)
+        if notes:
+            doc["notes"] = notes
+        span_docs.append(doc)
+
+    gauge_docs: dict[str, dict] = {}
+    series: dict[tuple, list[dict]] = {}
+    for event in events:
+        if event.get("kind") != "gauge":
+            continue
+        key = (event["name"], (event.get("attrs") or {}).get("index"))
+        series.setdefault(key, []).append(event)
+    for (name, index) in sorted(series, key=lambda k: (k[0], str(k[1]))):
+        samples = series[(name, index)]
+        peak = max(samples, key=lambda e: (e.get("value", 0), -e["t"]))
+        label = name if index is None else f"{name}[{index}]"
+        gauge_docs[label] = {
+            "last": samples[-1].get("value"),
+            "max": peak.get("value"),
+            "max_t": round(peak["t"], 6),
+            "samples": len(samples),
+        }
+
+    instant_docs: dict[str, dict] = {}
+    for event in events:
+        if event.get("kind") != "instant":
+            continue
+        doc = instant_docs.setdefault(
+            event["name"], {"count": 0, "times": []})
+        doc["count"] += 1
+        doc["times"].append(round(event["t"], 6))
+
+    return {
+        "epochs": max(event.get("epoch", 0) for event in events) + 1,
+        "events": len(events),
+        "gauges": gauge_docs,
+        "instants": instant_docs,
+        "phases": {label: round(duration, 6)
+                   for label, duration
+                   in sorted(phase_durations(events).items())},
+        "spans": span_docs,
+        "t0": round(t0, 6),
+        "t1": round(t1, 6),
+    }
 
 
 # -- rendering ----------------------------------------------------------------
@@ -305,9 +388,16 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("trace", help="JSONL trace file")
     parser.add_argument("--width", type=int, default=60,
                         help="timeline width in columns (default 60)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as a schema-stable JSON "
+                             "document instead of ASCII tables")
     args = parser.parse_args(argv)
     events = load_events(args.trace)
-    sys.stdout.write(render_report(events, width=args.width))
+    if args.json:
+        sys.stdout.write(json.dumps(report_json(events), indent=2,
+                                    sort_keys=True) + "\n")
+    else:
+        sys.stdout.write(render_report(events, width=args.width))
     return 0
 
 

@@ -110,6 +110,7 @@ class ParallelSFBuilder(SFIndexBuilder):
             # Current-RID in sync for the serial-path consumers (§3.2.2).
             self.context.current_rid = INFINITY_RID
             self._mark("scan_done")
+            self._progress_phase_done("scan")
             fault_point(self.system.metrics, "psf.scan_done")
             # Transition checkpoint, exactly as SF: from here a crash
             # resumes by rebuilding the merge from forced, closed runs --
@@ -119,6 +120,7 @@ class ParallelSFBuilder(SFIndexBuilder):
                 "phase": "load-start", "loaded_indexes": []})
             mergers = yield from self._parallel_merge_phase()
             self._mark("pmerge_done")
+            self._progress_phase_done("merge")
             phase = "load"
 
         yield from self._load_and_drain(phase, loaded, drained, mergers,
@@ -127,6 +129,7 @@ class ParallelSFBuilder(SFIndexBuilder):
         self._remove_context()
         self._write_utility_checkpoint({"phase": "done"})
         self._mark("done")
+        self._progress_finish()
         self._trace_end("build")
         return self.descriptors
 
@@ -168,6 +171,7 @@ class ParallelSFBuilder(SFIndexBuilder):
                    if not state["done"]]
         if not pending:
             return
+        self._progress_scan(0, self.table.page_count)
         barrier = Barrier(sim, parties=len(pending) + 1)
         group = ProcessGroup(sim, name="psf-scan")
         self._trace_begin("scan", workers=len(pending))
@@ -261,6 +265,7 @@ class ParallelSFBuilder(SFIndexBuilder):
                     page.latch.release(self.system.sim.current)
                 metrics.incr("build.pages_scanned")
                 metrics.incr(f"psf.pages_scanned.{shard}")
+                self._progress_scan(1, 0)
                 fault_point(metrics, "psf.worker.scan_page")
             pages_since_checkpoint += len(batch_ids)
             page_no = upto
@@ -379,6 +384,7 @@ class ParallelSFBuilder(SFIndexBuilder):
         builder.context = context
         builder._resume_state = utility_state
         builder._restore_throttle(utility_state)
+        builder._restore_progress(utility_state)
         return builder
 
     def _prepare_resume(self):

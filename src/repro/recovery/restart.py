@@ -101,6 +101,12 @@ def _prepare_restart(crashed: System, system: System,
         system.metrics.tracer = tracer
         tracer.instant("system.restart",
                        stable_lsn=crashed.log.flushed_lsn)
+    # Progress tracking survives the same way: the tracker re-attaches so
+    # the resumed build reports resumed progress, not 0%.
+    progress = getattr(crashed.metrics, "progress", None)
+    if progress is not None:
+        system.metrics.progress = progress
+        progress.bind(system)
     _rebuild_catalog(crashed, system)
 
     checkpoint = system.log.latest_checkpoint()

@@ -12,16 +12,23 @@ this kind of congestion controller; the asymmetry (fast backoff, slow
 recovery) keeps the build from oscillating the foreground latency
 around the target.
 
-The latency source is injectable: production wiring samples the
-open-loop driver's completed-op latencies, unit tests feed synthetic
-populations.  The controller only ever touches the bucket's rate, so
-the crash-safety story is unchanged -- the rate is volatile tuning
-state, and a post-crash resume simply starts again from the configured
-``build_rate_limit``.
+The default latency source is the live ``openloop.latency`` streaming
+histogram (:mod:`repro.metrics.hist`) that the open-loop driver feeds
+on every committed operation: each tick the controller diffs the
+cumulative histogram against the newest snapshot mark older than the
+window, so the p99 it steers on covers (approximately -- mark
+granularity is one tick) just the trailing window, with no raw-sample
+retention anywhere.  An injected ``latencies`` callback overrides the
+histogram (unit tests feed synthetic populations; anything with exact
+``(completion_time, latency)`` pairs windows exactly).  The controller
+only ever touches the bucket's rate, so the crash-safety story is
+unchanged -- the rate is volatile tuning state, and a post-crash
+resume simply starts again from the configured ``build_rate_limit``.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -53,24 +60,31 @@ class AdaptiveThrottleConfig:
     max_rate: float = 1_000.0
     #: need at least this many window samples to act on a measurement
     min_samples: int = 5
+    #: streaming histogram steered on when no ``latencies`` callback is
+    #: injected (the open-loop driver feeds this one)
+    hist_name: str = "openloop.latency"
 
 
 class AdaptiveThrottleController:
     """Feedback loop tuning a live token bucket toward a p99 target.
 
-    ``latencies`` returns ``(completion_time, latency)`` pairs for
-    foreground ops observed so far (e.g. from
-    ``OpenLoopDriver.latencies()``); each tick the controller keeps the
-    pairs completed within the trailing ``window`` and compares their
-    p99 to the target.  Too slow -> the bucket rate is multiplied by
-    ``backoff``; under target (or no traffic at all -- an idle system
-    has no reason to hold the build back) -> multiplied by ``step_up``,
-    always clamped to ``[min_rate, max_rate]``.
+    By default the controller measures the live
+    ``config.hist_name`` streaming histogram via windowed snapshot
+    deltas.  An injected ``latencies`` callback overrides it: the
+    callback returns ``(completion_time, latency)`` pairs for
+    foreground ops observed so far, and each tick the controller keeps
+    the pairs completed within the trailing ``window``.  Either way the
+    windowed p99 is compared to the target: too slow -> the bucket rate
+    is multiplied by ``backoff``; under target (or no traffic at all --
+    an idle system has no reason to hold the build back) -> multiplied
+    by ``step_up``, always clamped to ``[min_rate, max_rate]``.
     """
 
     def __init__(self, system, bucket: TokenBucket,
-                 latencies: LatencySource,
-                 config: AdaptiveThrottleConfig) -> None:
+                 latencies: Optional[LatencySource] = None,
+                 config: Optional[AdaptiveThrottleConfig] = None) -> None:
+        if config is None:
+            raise ValueError("an AdaptiveThrottleConfig is required")
         if config.p99_target <= 0:
             raise ValueError("p99_target must be positive")
         self.system = system
@@ -80,6 +94,10 @@ class AdaptiveThrottleController:
         self.stop_requested = False
         #: (time, p99-or-None, new_rate) per tick, for tests and reports
         self.history: list[tuple[float, Optional[float], float]] = []
+        #: cumulative histogram snapshots ``(t, copy)``, newest-last;
+        #: the newest mark at or before ``now - window`` is the baseline
+        #: each windowed-quantile delta is taken against
+        self._marks: deque = deque()
 
     def stop(self) -> None:
         """Ask the controller loop to exit at its next tick."""
@@ -89,11 +107,37 @@ class AdaptiveThrottleController:
         """Windowed p99 of the latency source, or None when too sparse."""
         now = self.system.sim.now
         cutoff = now - self.config.window
-        sample = [latency for completed, latency in self.latencies()
-                  if completed >= cutoff]
-        if len(sample) < self.config.min_samples:
+        if self.latencies is not None:
+            sample = [latency for completed, latency in self.latencies()
+                      if completed >= cutoff]
+            if len(sample) < self.config.min_samples:
+                return None
+            return percentile(sample, 99.0)
+        return self._measure_hist(now, cutoff)
+
+    def _measure_hist(self, now: float, cutoff: float) -> Optional[float]:
+        """Histogram-source measurement: the delta between the current
+        cumulative histogram and the newest snapshot mark at or before
+        the window cutoff.  Mark granularity is one controller tick, so
+        the window is approximate (it can over-cover by up to one
+        interval, and the first tick sees everything since t=0) -- the
+        AIMD loop only needs the trend, not exact edges.
+        """
+        hist = self.system.metrics.histograms.get(self.config.hist_name)
+        if hist is None:
             return None
-        return percentile(sample, 99.0)
+        marks = self._marks
+        # drop marks superseded as baseline (a newer one also predates
+        # the cutoff); the survivor in front is the baseline
+        while len(marks) >= 2 and marks[1][0] <= cutoff:
+            marks.popleft()
+        baseline = marks[0][1] if marks and marks[0][0] <= cutoff \
+            else None
+        window = hist.delta(baseline) if baseline is not None else hist
+        marks.append((now, hist.copy()))
+        if window.count < self.config.min_samples:
+            return None
+        return window.quantile(99.0)
 
     def tick(self) -> Optional[float]:
         """One control decision: measure, retune, record.  Returns p99."""

@@ -161,6 +161,82 @@ def test_rejects_nonpositive_target():
             AdaptiveThrottleConfig(p99_target=0.0))
 
 
+def test_rejects_missing_config():
+    system = System(SystemConfig())
+    with pytest.raises(ValueError):
+        AdaptiveThrottleController(system, TokenBucket(system.sim, 1.0))
+
+
+# -- the streaming histogram as the default latency source -------------------
+
+
+def _hist_controller(system, rate=16.0, **overrides):
+    """A controller with no injected source: it reads the live
+    ``openloop.latency`` streaming histogram."""
+    config = AdaptiveThrottleConfig(**{
+        "p99_target": 5.0, "interval": 10.0, "window": 40.0,
+        "min_samples": 3, "min_rate": 1.0, "max_rate": 64.0,
+        **overrides})
+    bucket = TokenBucket(system.sim, rate)
+    controller = AdaptiveThrottleController(system, bucket, config=config)
+    return controller, bucket
+
+
+def test_histogram_source_steers_like_the_injected_one_under_load():
+    """The existing back-off-under-load scenario, fed through the
+    histogram default instead of an injected callback: identical
+    steering (16 -> 8 -> 4, one backoff counted per tick)."""
+    system = System(SystemConfig())
+    controller, bucket = _hist_controller(system, rate=16.0)
+    assert controller.latencies is None  # histogram is the default
+    for _ in range(8):
+        system.metrics.observe_hist("openloop.latency", 50.0)
+    p99 = controller.tick()
+    assert p99 == pytest.approx(50.0)  # bucket bound clamped to max=50
+    assert bucket.rate == pytest.approx(8.0)
+    assert system.metrics.get("throttle.backoffs") == 1
+    controller.tick()
+    assert bucket.rate == pytest.approx(4.0)
+    assert controller.history[-1] == (0.0, pytest.approx(50.0),
+                                      pytest.approx(4.0))
+
+
+def test_histogram_source_windows_out_old_observations():
+    system = System(SystemConfig())
+    controller, bucket = _hist_controller(system, rate=16.0)
+    for _ in range(8):
+        system.metrics.observe_hist("openloop.latency", 50.0)
+    controller.tick()  # sees the load, backs off, snapshots a mark
+    assert bucket.rate == pytest.approx(8.0)
+
+    def advance():
+        yield Delay(100.0)
+
+    system.spawn(advance(), name="clock")
+    system.sim.run()
+    # Same cumulative histogram, but everything in it predates the
+    # window mark -> the delta is empty, which reads as idle.
+    assert controller.measure() is None
+    controller.tick()
+    assert bucket.rate == pytest.approx(10.0)
+    # Fresh observations land in the delta and back the build off again.
+    for _ in range(8):
+        system.metrics.observe_hist("openloop.latency", 50.0)
+    controller.tick()
+    assert bucket.rate == pytest.approx(5.0)
+
+
+def test_histogram_source_requires_min_samples_and_a_histogram():
+    system = System(SystemConfig())
+    controller, bucket = _hist_controller(system, min_samples=5)
+    assert controller.measure() is None  # no histogram at all yet
+    for _ in range(4):
+        system.metrics.observe_hist("openloop.latency", 50.0)
+    assert controller.measure() is None  # too sparse
+    system.metrics.observe_hist("openloop.latency", 50.0)
+    assert controller.measure() == pytest.approx(50.0)
+
+
 # -- the controller as a process ---------------------------------------------
 
 

@@ -1,0 +1,261 @@
+"""Tests for the alerting health monitor (repro.obs.health).
+
+* rule and monitor unit behaviour -- validation, hysteresis (fire after
+  ``for_ticks`` breaches, clear after ``clear_ticks`` clean samples),
+  rate-of-change rules, windowed histogram quantiles;
+* the tamper check -- a synthetic apply-lag spike on a live simulator
+  MUST produce an ``alert.fire`` instant (and a matching clear once the
+  spike subsides): if the alert path rusts, this test pages first;
+* calibration -- a clean tracked build under the default rules fires
+  nothing (what CI's dashboard smoke asserts on the sweep trace).
+"""
+
+import pytest
+
+from repro import (
+    BuildOptions,
+    IndexSpec,
+    System,
+    SystemConfig,
+    WorkloadDriver,
+    WorkloadSpec,
+)
+from repro.core import get_builder
+from repro.metrics.registry import MetricsRegistry
+from repro.obs import (
+    AlertRule,
+    HealthMonitor,
+    TraceRecorder,
+    default_rules,
+    enable_health,
+    enable_tracing,
+)
+from repro.sim.kernel import Delay
+
+
+# -- unit scaffolding --------------------------------------------------------
+
+
+class _FakeSim:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+class _FakeSystem:
+    def __init__(self):
+        self.sim = _FakeSim()
+        self.metrics = MetricsRegistry()
+        self.sidefiles = {}
+
+
+def _monitor(rules, **kwargs):
+    system = _FakeSystem()
+    return system, HealthMonitor(system, rules=rules, **kwargs)
+
+
+# -- rules -------------------------------------------------------------------
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        AlertRule("bad-op", "m", op="~")
+    with pytest.raises(ValueError):
+        AlertRule("bad-kind", "m", kind="derivative")
+    with pytest.raises(ValueError):
+        AlertRule("bad-ticks", "m", for_ticks=0)
+    with pytest.raises(ValueError):
+        HealthMonitor(_FakeSystem(),
+                      rules=[AlertRule("dup", "a"), AlertRule("dup", "b")])
+    rule = AlertRule("floor", "rate", op="<", threshold=1.0)
+    assert rule.breaches(0.5) and not rule.breaches(1.0)
+
+
+def test_default_rules_cover_the_documented_metrics():
+    metrics = {rule.metric for rule in default_rules()}
+    assert metrics == {"sidefile.backlog", "openloop.latency.p99",
+                       "throttle.rate", "cluster.apply_lag"}
+
+
+# -- hysteresis --------------------------------------------------------------
+
+
+def test_fire_and_clear_hysteresis():
+    recorder = TraceRecorder()
+    system, monitor = _monitor(
+        [AlertRule("lag", "lag", op=">", threshold=100.0,
+                   for_ticks=2, clear_ticks=2)])
+    recorder.bind(system.sim)
+    system.metrics.tracer = recorder
+    lag = {"value": 0.0}
+    monitor.add_probe("lag", lambda: lag["value"])
+
+    def step(value):
+        system.sim.now += 5.0
+        lag["value"] = value
+        monitor.tick()
+        return [e["name"] for e in recorder.events
+                if e["name"].startswith("alert.")]
+
+    assert step(500.0) == []                     # 1st breach: armed only
+    assert step(500.0) == ["alert.fire"]         # 2nd: fires
+    assert monitor.firing == ["lag"]
+    assert step(500.0) == ["alert.fire"]         # still firing: no re-fire
+    assert step(0.0) == ["alert.fire"]           # 1st clean: not yet
+    events = step(0.0)                           # 2nd clean: clears
+    assert events == ["alert.fire", "alert.clear"]
+    assert monitor.firing == []
+    fire = next(e for e in recorder.events if e["name"] == "alert.fire")
+    assert fire["attrs"]["alert"] == "lag"
+    assert fire["attrs"]["value"] == 500.0
+    clear = next(e for e in recorder.events if e["name"] == "alert.clear")
+    assert clear["attrs"]["duration"] == 15.0
+    state = monitor.snapshot()["alerts"]["lag"]
+    assert state["fired"] == 1 and not state["firing"]
+
+
+def test_missing_metric_is_a_clean_tick():
+    system, monitor = _monitor(
+        [AlertRule("lag", "lag", threshold=1.0, for_ticks=1,
+                   clear_ticks=1)])
+    values = iter([5.0, None])
+    monitor.add_probe("lag", lambda: next(values))
+    system.sim.now = 1.0
+    monitor.tick()
+    assert monitor.firing == ["lag"]
+    system.sim.now = 2.0
+    monitor.tick()  # probe returns None: counts as clean, clears
+    assert monitor.firing == []
+    assert "lag" not in monitor.last_sample
+
+
+def test_rate_rule_breaches_on_slope_not_level():
+    system, monitor = _monitor(
+        [AlertRule("backlog-growth", "backlog", op=">", threshold=10.0,
+                   kind="rate", for_ticks=1, clear_ticks=1)])
+    backlog = {"value": 0.0}
+    monitor.add_probe("backlog", lambda: backlog["value"])
+
+    def step(value):
+        system.sim.now += 1.0
+        backlog["value"] = value
+        monitor.tick()
+
+    step(1000.0)  # huge level, but no previous sample: no rate yet
+    assert monitor.firing == []
+    step(1005.0)  # +5/s: under the slope threshold
+    assert monitor.firing == []
+    step(1105.0)  # +100/s: breaches
+    assert monitor.firing == ["backlog-growth"]
+    step(1105.0)  # flat: clears
+    assert monitor.firing == []
+
+
+# -- histogram windows -------------------------------------------------------
+
+
+def test_windowed_quantile_sees_only_the_last_window():
+    system, monitor = _monitor(
+        [AlertRule("p99", "lat.p99", op=">", threshold=50.0,
+                   for_ticks=1, clear_ticks=1)],
+        hists=("lat",), quantiles=(99.0,))
+    for _ in range(50):
+        system.metrics.observe_hist("lat", 1.0)
+    system.sim.now = 1.0
+    monitor.tick()
+    assert monitor.last_sample["lat.p99"] <= 2.0
+    assert monitor.firing == []
+    # a slow burst lands entirely in the next window
+    for _ in range(10):
+        system.metrics.observe_hist("lat", 400.0)
+    system.sim.now = 2.0
+    monitor.tick()
+    # cumulative p99 would still sit near 1s (10/60 samples); windowed
+    # p99 must see the burst
+    assert monitor.last_sample["lat.p99"] >= 400.0
+    assert monitor.firing == ["p99"]
+    # a quiet window drops the metric entirely -> clean tick, clears
+    system.sim.now = 3.0
+    monitor.tick()
+    assert "lat.p99" not in monitor.last_sample
+    assert monitor.firing == []
+
+
+def test_sidefile_backlog_sample_includes_worst_case_aggregate():
+    system, monitor = _monitor([])
+
+    class _Sidefile:
+        def __init__(self, entries, drained):
+            self.entries = [None] * entries
+            self.drain_position = drained
+
+    system.sidefiles["a"] = _Sidefile(100, 40)
+    system.sidefiles["b"] = _Sidefile(10, 10)
+    system.sim.now = 1.0
+    sample = monitor.tick()
+    assert sample["sidefile.backlog.a"] == 60.0
+    assert sample["sidefile.backlog.b"] == 0.0
+    assert sample["sidefile.backlog"] == 60.0
+
+
+# -- the tamper check (alert path must actually fire) ------------------------
+
+
+def test_synthetic_lag_spike_fires_and_clears_on_a_live_simulator():
+    """If this stops firing, the alert path is broken -- the CI step
+    runs exactly this check."""
+    system = System(SystemConfig(), seed=1)
+    recorder = enable_tracing(system)
+    monitor = enable_health(
+        system, rules=[AlertRule("apply-lag", "cluster.apply_lag",
+                                 op=">", threshold=256.0,
+                                 for_ticks=2, clear_ticks=2)],
+        sample_every=5.0)
+    # lag spikes in [20, 60), then recovers
+    monitor.add_probe(
+        "cluster.apply_lag",
+        lambda: 1000.0 if 20.0 <= system.sim.now < 60.0 else 0.0)
+
+    def clock():  # keeps the simulator alive past the spike
+        yield Delay(120.0)
+
+    system.spawn(clock(), name="clock")
+    system.run()
+    fires = [e for e in recorder.events if e["name"] == "alert.fire"]
+    clears = [e for e in recorder.events if e["name"] == "alert.clear"]
+    assert len(fires) == 1 and len(clears) == 1
+    assert fires[0]["attrs"]["alert"] == "apply-lag"
+    assert 20.0 < fires[0]["t"] < 60.0
+    assert clears[0]["t"] > 60.0
+    assert monitor.firing == []
+    assert system.metrics.get("health.alerts_fired") == 1
+
+
+# -- calibration: a clean build fires nothing --------------------------------
+
+
+def test_default_rules_stay_quiet_on_a_clean_tracked_build():
+    system = System(SystemConfig(page_capacity=8, leaf_capacity=8,
+                                 sort_workspace=16), seed=3)
+    recorder = enable_tracing(system)
+    table = system.create_table("t", ["k", "p"])
+    driver = WorkloadDriver(
+        system, table, WorkloadSpec(operations=20, workers=2,
+                                    think_time=0.5), seed=3)
+    proc = system.spawn(driver.preload(120), name="preload")
+    system.run()
+    assert proc.error is None
+    # armed after the preload run so its sampler lives through the build
+    monitor = enable_health(system, sample_every=10.0)
+    builder = get_builder("sf")(
+        system, table, IndexSpec.of("idx", ["k"]),
+        options=BuildOptions(checkpoint_every_keys=64))
+    build_proc = system.spawn(builder.run(), name="builder")
+    driver.spawn_workers()
+    system.run()
+    assert build_proc.error is None
+    assert monitor.ticks > 0
+    assert monitor.firing == []
+    assert [e for e in recorder.events
+            if e["name"] == "alert.fire"] == []
+    snapshot = monitor.snapshot()
+    assert set(snapshot) == {"alerts", "firing", "sample", "ticks"}

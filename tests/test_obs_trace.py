@@ -287,3 +287,109 @@ def test_report_cli_renders_a_trace_file(tmp_path):
     out = buffer.getvalue()
     assert "phase timeline" in out
     assert "drain:events_by_ts" in out
+
+
+def test_report_cli_json_mode_is_schema_stable(tmp_path):
+    recorder = _sf_crash_trace()
+    trace_path = tmp_path / "crash.jsonl"
+    recorder.write_jsonl(str(trace_path))
+
+    def run_json():
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            assert report_main([str(trace_path), "--json"]) == 0
+        return buffer.getvalue()
+
+    first = run_json()
+    assert first == run_json()  # byte-stable for an equal trace
+    doc = json.loads(first)
+    assert set(doc) == {"epochs", "events", "gauges", "instants",
+                        "phases", "spans", "t0", "t1"}
+    assert doc["epochs"] == 2
+    assert doc["events"] == len(recorder.events)
+    assert doc["instants"]["system.crash"]["count"] == 1
+    assert doc["phases"]["drain:events_by_ts"] > 0
+    crashed = [s for s in doc["spans"] if s["crashed"]]
+    assert {s["name"] for s in crashed} >= {"build", "drain"}
+    assert all(s["end"] is None for s in crashed)
+    backlog = doc["gauges"]["sidefile.backlog[events_by_ts]"]
+    assert backlog["samples"] > 0 and backlog["max"] >= backlog["last"]
+    # the JSON agrees with the ASCII analysis
+    assert doc["phases"] == {
+        label: round(duration, 6)
+        for label, duration
+        in phase_durations(recorder.events).items()}
+
+
+def test_report_json_of_an_empty_trace():
+    from repro.obs.report import report_json
+    doc = report_json([])
+    assert doc["events"] == 0 and doc["spans"] == []
+
+
+# -- double crash/restart: recorder survives repeated re-binds ----------------
+
+
+def test_double_crash_restart_keeps_time_monotone_and_one_sampler():
+    """Crash the build twice: the recorder re-binds twice (three
+    epochs), exported timestamps stay monotone end to end, and the
+    ``_sampler_sim`` guard never spawns a duplicate sampler process."""
+    system = System(SystemConfig(page_capacity=8, leaf_capacity=8,
+                                 sort_workspace=32), seed=13)
+    recorder = enable_tracing(system, sample_every=40.0)
+    table = system.create_table("events", ["ts", "payload"])
+    spec = WorkloadSpec(operations=60, workers=2, think_time=0.8,
+                        rollback_fraction=0.15)
+    driver = WorkloadDriver(system, table, spec, seed=13)
+    preload = system.spawn(driver.preload(1200), name="preload")
+    system.run()
+    assert preload.error is None
+    options = BuildOptions(checkpoint_every_pages=16,
+                           checkpoint_every_keys=128,
+                           commit_every_keys=64)
+    builder = get_builder("sf")(system, table,
+                                IndexSpec.of("events_by_ts", ["ts"]),
+                                options=options)
+    system.spawn(builder.run(), name="builder")
+    driver.spawn_workers()
+
+    # crash #1 mid-drain, restart, resume
+    run_until_crash(system, system.now() + 160.0)
+    recovered, utility_state = restart(system, pre_undo=build_pre_undo)
+    assert utility_state.get("phase") == "drain"
+    resumed = resume_build(recovered, utility_state)
+    assert resumed is not None
+    enable_tracing(recovered, recorder, sample_every=40.0)
+    assert recorder.epoch == 1
+    recovered.spawn(resumed.run(), name="resumed-builder")
+
+    # crash #2 shortly into the resumed drain, restart, resume again
+    run_until_crash(recovered, recovered.now() + 5.0)
+    recovered2, utility_state2 = restart(recovered, pre_undo=build_pre_undo)
+    assert utility_state2.get("phase") == "drain"
+    resumed2 = resume_build(recovered2, utility_state2)
+    assert resumed2 is not None
+    enable_tracing(recovered2, recorder, sample_every=40.0)
+    assert recorder.epoch == 2
+    # re-enabling on the same simulator must not spawn a second sampler
+    live_before = recovered2.sim.live_processes
+    again = enable_tracing(recovered2, recorder, sample_every=40.0)
+    assert again is recorder
+    assert recovered2.sim.live_processes == live_before
+
+    proc = recovered2.spawn(resumed2.run(), name="resumed-builder-2")
+    recovered2.run()
+    assert proc.error is None
+    audit_index(recovered2, recovered2.indexes["events_by_ts"])
+
+    events = recorder.events
+    assert {e["epoch"] for e in events} == {0, 1, 2}
+    assert [e["name"] for e in events].count("system.crash") == 2
+    assert [e["name"] for e in events].count("system.restart") == 2
+    times = [e["t"] for e in events]
+    assert times == sorted(times), "re-binds broke timestamp monotonicity"
+    # one sampler per epoch: no duplicated gauge samples at the same
+    # instant (the signature a doubled sampler process would leave)
+    gauge_keys = [(e["t"], e["name"], (e.get("attrs") or {}).get("index"))
+                  for e in events if e["kind"] == "gauge"]
+    assert len(gauge_keys) == len(set(gauge_keys))
