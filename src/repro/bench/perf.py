@@ -58,6 +58,19 @@ MIN_IB_SPEEDUP = 1.5
 #: (simulated clock, so machine-independent by construction)
 MIN_PSF_SCAN_SPEEDUP = 1.5
 
+#: acceptance floors for the compressed-key codec.  The comparison-bound
+#: micro (C-level sort loop over the same keys, raw tuples vs encoded
+#: ints) isolates the cost the codec exists to remove and must show at
+#: least 2x; so must the codec-on/off build scenarios on the simulated
+#: clock, which charges comparisons by compared-key width.  The
+#: end-to-end scan+sort+load micro is tracked row-by-row against the
+#: committed baseline instead: CPython spends the bulk of that pipeline
+#: in per-key interpreter machinery that is identical on both sides, so
+#: its wall-clock ratio understates what a compiled engine gets and is
+#: only gated against regression, not against an absolute floor.
+MIN_CODEC_SPEEDUP = 2.0
+MIN_CODEC_SIM_SPEEDUP = 2.0
+
 
 class LegacyBTree(BTree):
     """The pre-optimization B+-tree hot paths, copied verbatim.
@@ -404,6 +417,145 @@ def micro_sidefile_redo(mode: str) -> dict:
             "keys_per_second": (2 * count) / wall if wall else 0.0}
 
 
+def micro_scan_sort_load_codec(mode: str) -> dict:
+    """Compressed-key sort: the whole scan+sort+load pipeline, both ways.
+
+    The same ``((int, str), rid)`` key stream runs push -> run formation
+    -> final merge -> decode -> bulk load twice: once over raw composite
+    tuples and once through :class:`KeyCodec` (encode cost and deferred
+    decode both *inside* the timed region, so the ratio is end-to-end).
+    A sprinkle of over-width strings exercises the spill path.  Both
+    trees must come out entry-for-entry identical -- the codec is an
+    engineering change, not a semantic one -- and the recorded speedup
+    is a same-process ratio like the IB micro's.
+    """
+    from repro.btree.loader import BulkLoader
+    from repro.sort import CompressedRunFormation, KeyCodec
+
+    count = 1_500 if mode == "smoke" else 4_000
+    params = {"keys": count, "workspace": 256, "fanin": 8, "batch": 64,
+              "seed": 29, "spill_every": 64}
+    rng = random.Random(params["seed"])
+    cats = ["elec", "food", "home", "toys", "auto", "book", "gard", "baby",
+            "pets", "arts", "game", "tool", "wine", "kids", "gift", "tech"]
+    stream = []
+    for i in range(count):
+        # Secondary-index diet: low-cardinality leading columns repeat
+        # across records; every spill_every-th key carries an over-width
+        # category so the spill path stays on the timed path.
+        category = "long-tail-category" if i % params["spill_every"] == 0 \
+            else rng.choice(cats)
+        stream.append(((rng.randrange(8), category, rng.randrange(64)),
+                       (i // 64, i % 64)))
+
+    def run_once(compressed: bool) -> dict:
+        system = System(SystemConfig(leaf_capacity=8, branch_capacity=8),
+                        seed=params["seed"])
+        tree = BTree(system, "bench-idx", "bench-table")
+        loader = BulkLoader(tree)
+        store = RunStore(prefix="codec-on" if compressed else "codec-off")
+        codec = KeyCodec() if compressed else None
+        sorter = CompressedRunFormation(store, params["workspace"], codec) \
+            if compressed else RunFormation(store, params["workspace"])
+        append = loader.append
+        started = time.perf_counter()
+        for pair in stream:
+            sorter.push(pair)
+        runs = sorter.finish()
+        merger = final_merger(store, runs, params["fanin"])
+        decode = codec.decode if compressed else None
+        while True:
+            batch = merger.pop_many(params["batch"])
+            if not batch:
+                break
+            if decode is not None:
+                for encoded in batch:
+                    key_value, raw = decode(encoded)
+                    append(key_value, RID(*raw))
+            else:
+                for key_value, raw in batch:
+                    append(key_value, RID(*raw))
+        loader.finish()
+        wall = time.perf_counter() - started
+        entries = [(entry.key_value, tuple(entry.rid))
+                   for entry in tree.all_entries()]
+        return {"wall_seconds": wall,
+                "keys_per_second": count / wall if wall else 0.0,
+                "runs_formed": len(runs),
+                "spills": codec.spills if compressed else 0,
+                "entries": entries}
+
+    baseline = run_once(False)
+    optimized = run_once(True)
+    if baseline["entries"] != optimized["entries"]:
+        first = next(i for i in range(len(baseline["entries"]))
+                     if baseline["entries"][i] != optimized["entries"][i])
+        raise AssertionError(
+            "codec-on tree diverged from codec-off at entry "
+            f"{first}: {optimized['entries'][first]!r} != "
+            f"{baseline['entries'][first]!r}")
+    if len(baseline["entries"]) != count:
+        raise AssertionError(
+            f"codec micro loaded {len(baseline['entries'])} of {count}")
+    spills = optimized.pop("spills")
+    baseline.pop("spills")
+    baseline.pop("entries")
+    optimized.pop("entries")
+    speedup = (baseline["wall_seconds"] / optimized["wall_seconds"]
+               if optimized["wall_seconds"] else 0.0)
+    return {"params": params, "baseline": baseline, "optimized": optimized,
+            "spills": spills, "speedup": speedup}
+
+
+def micro_codec_compare_bound(mode: str) -> dict:
+    """Comparison-cost ratio: raw composite tuples vs encoded ints.
+
+    Both sides sort the *same* shuffled key set with ``list.sort`` -- a
+    pure C comparison loop, the regime a compiled engine's sort inner
+    loop lives in -- so the ratio isolates what the codec actually
+    changes: the cost of one key comparison.  Order isomorphism is
+    checked by decoding the encoded order back and comparing
+    entry-for-entry against the raw order.
+    """
+    from repro.sort import KeyCodec
+
+    count = 20_000 if mode == "smoke" else 60_000
+    params = {"keys": count, "seed": 31}
+    rng = random.Random(params["seed"])
+    cats = ["elec", "food", "home", "toys", "auto", "book", "gard", "baby"]
+    raw = [((rng.randrange(8), rng.choice(cats), rng.randrange(64)),
+            (i // 64, i % 64)) for i in range(count)]
+    codec = KeyCodec()
+    codec.bind(raw[0][0])
+    encoded = [codec.encode(key_value, rid) for key_value, rid in raw]
+    rng.shuffle(raw)
+    rng.shuffle(encoded)
+    started = time.perf_counter()
+    raw.sort()
+    baseline_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    encoded.sort()
+    optimized_wall = time.perf_counter() - started
+    decoded = [codec.decode(code) for code in encoded]
+    if decoded != raw:
+        first = next(i for i in range(count) if decoded[i] != raw[i])
+        raise AssertionError(
+            f"encoded sort order diverged from raw at {first}: "
+            f"{decoded[first]!r} != {raw[first]!r}")
+    return {"params": params,
+            "wall_seconds": optimized_wall,
+            "baseline": {"wall_seconds": baseline_wall,
+                         "keys_per_second":
+                             count / baseline_wall if baseline_wall
+                             else 0.0},
+            "optimized": {"wall_seconds": optimized_wall,
+                          "keys_per_second":
+                              count / optimized_wall if optimized_wall
+                              else 0.0},
+            "speedup": (baseline_wall / optimized_wall
+                        if optimized_wall else 0.0)}
+
+
 def micro_frontier_shard_of(mode: str) -> dict:
     """Frontier ownership test: bisect ``shard_of`` vs the pre-PR linear
     scan.
@@ -479,13 +631,20 @@ def _trace_extras(recorder, system) -> dict:
 
 
 def _build_scenario(name: str, *, algorithm: str, rows: int,
-                    operations: int = 0, seed: int = 0) -> dict:
+                    operations: int = 0, seed: int = 0,
+                    compressed_keys: bool = False,
+                    key_compare_cost: float = 0.0) -> dict:
     from repro.obs import TraceRecorder
 
     params = {"algorithm": algorithm, "rows": rows,
               "operations": operations, "workers": 2, "seed": seed}
+    if compressed_keys or key_compare_cost:
+        params["compressed_keys"] = compressed_keys
+        params["key_compare_cost"] = key_compare_cost
     options = BuildOptions(checkpoint_every_keys=200,
-                           commit_every_keys=128)
+                           commit_every_keys=128,
+                           compressed_keys=compressed_keys,
+                           key_compare_cost=key_compare_cost)
     recorder = TraceRecorder()
     started = time.perf_counter()
     result = run_build_experiment(
@@ -529,6 +688,103 @@ def _build_scenarios(mode: str) -> list[tuple[str, Callable[[], dict]]]:
                 f"build/{a}/workload", algorithm=a, rows=rows_list[0],
                 operations=workload_ops, seed=42)))
     return scenarios
+
+
+# ---------------------------------------------------------------------------
+# compressed-key codec scenarios (simulated-clock on/off sweep) and
+# sealed-run index reconstruction
+# ---------------------------------------------------------------------------
+
+
+def _codec_scenarios(mode: str) \
+        -> list[tuple[str, str, Callable[[], dict]]]:
+    """Codec-on vs codec-off SF builds plus a summary of the ratio.
+
+    ``key_compare_cost`` charges the simulated clock per tournament/merge
+    comparison, weighted by compared-key width (raw composite = key
+    columns + seq + rid, encoded = one machine int), so the summary's
+    speedup is machine-independent the same way the P-sweep's is.
+    """
+    rows = 120 if mode == "smoke" else 400
+    compare_cost = 0.05
+    cache: dict[str, dict] = {}
+    scenarios: list[tuple[str, str, Callable[[], dict]]] = []
+    for label, compressed in (("off", False), ("on", True)):
+        def run_one(lbl=label, c=compressed):
+            scenario = _build_scenario(
+                f"build/sf/codec_{lbl}", algorithm="sf", rows=rows,
+                seed=42, compressed_keys=c,
+                key_compare_cost=compare_cost)
+            cache[lbl] = scenario
+            return scenario
+        scenarios.append((f"build/sf/codec_{label}", "build", run_one))
+
+    def sweep():
+        if "off" not in cache or "on" not in cache:
+            raise AssertionError("codec on/off scenario missing")
+        off, on = cache["off"], cache["on"]
+        return {"params": {"rows": rows, "key_compare_cost": compare_cost},
+                "sim_time_off": off["sim_time"],
+                "sim_time_on": on["sim_time"],
+                "speedup_sim": (off["sim_time"] / on["sim_time"]
+                                if on["sim_time"] else 0.0),
+                "speedup_wall": (off["wall_seconds"] / on["wall_seconds"]
+                                 if on["wall_seconds"] else 0.0)}
+
+    scenarios.append(("codec/sim_sweep", "summary", sweep))
+    return scenarios
+
+
+def _rebuild_scenario(mode: str) -> dict:
+    """Drop+rebuild from sealed runs: zero table pages rescanned.
+
+    A codec-on SF build seals its final merged run; ``rebuild_index``
+    then reconstructs the same index from the sealed store.  The
+    scenario fails outright if the rebuild touches even one table page,
+    and records the simulated-clock speedup over the original build.
+    """
+    from repro.verify import audit_index
+
+    rows = 120 if mode == "smoke" else 400
+    params = {"algorithm": "rebuild", "rows": rows, "seed": 42,
+              "compressed_keys": True}
+    options = BuildOptions(checkpoint_every_keys=200,
+                           commit_every_keys=128, compressed_keys=True)
+    seed_build = run_build_experiment(
+        "sf", rows=rows, operations=0, workers=2, seed=params["seed"],
+        options=options, config=bench_config())
+    system = seed_build.system
+    before = system.metrics.snapshot()
+    builder = system.rebuild_index("idx", options=BuildOptions(
+        checkpoint_every_keys=200, commit_every_keys=128))
+    proc = system.spawn(builder.run(), name="rebuild")
+    started = time.perf_counter()
+    system.run()
+    wall = time.perf_counter() - started
+    if proc.error is not None:
+        raise proc.error
+    audit_index(system, system.indexes["idx"])
+    delta = system.metrics.delta(before)
+    pages = delta.get("build.pages_scanned", 0)
+    if pages:
+        raise AssertionError(
+            f"rebuild scanned {pages} table pages instead of reusing "
+            "the sealed runs")
+    sim_time = builder.timings.get("done", system.now()) \
+        - builder.timings.get("start", 0.0)
+    interesting = ("rebuild.runs_reused", "index.inserts.bulk",
+                   "build.sidefile_drained", "log.records")
+    counters = {key: delta[key] for key in interesting if key in delta}
+    counters["build.pages_scanned"] = pages
+    return {"params": params,
+            "wall_seconds": wall,
+            "keys_per_second": rows / wall if wall else 0.0,
+            "sim_time": sim_time,
+            "counters": counters,
+            "pages_scanned_delta": pages,
+            "seed_build_sim_time": seed_build.build_time,
+            "speedup_vs_seed_build": (seed_build.build_time / sim_time
+                                      if sim_time else 0.0)}
 
 
 # ---------------------------------------------------------------------------
@@ -645,6 +901,8 @@ MICROS: list[tuple[str, Callable[[str], dict]]] = [
     ("micro/sidefile_drain", micro_sidefile_drain),
     ("micro/sidefile_redo", micro_sidefile_redo),
     ("micro/frontier_shard_of", micro_frontier_shard_of),
+    ("micro/scan_sort_load_codec", micro_scan_sort_load_codec),
+    ("micro/codec_compare_bound", micro_codec_compare_bound),
 ]
 
 
@@ -664,6 +922,9 @@ def run_suite(mode: str = "full", *, only: Optional[str] = None,
     entries: list[tuple[str, str, Callable[[], dict]]] = []
     for name, thunk in _build_scenarios(mode):
         entries.append((name, "build", lambda t=thunk: t()))
+    entries.extend(_codec_scenarios(mode))
+    entries.append(("rebuild/reuse_runs", "build",
+                    lambda: _rebuild_scenario(mode)))
     entries.extend(_parallel_scenarios(mode))
     for name, body in MICROS:
         entries.append((name, "micro", lambda b=body: b(mode)))
@@ -694,10 +955,17 @@ def _run_one(name: str, kind: str, thunk: Callable[[], dict],
         scenario["error"] = f"{type(exc).__name__}: {exc}"
         echo(f"  FAIL {name}: {scenario['error']}")
         return scenario
-    if name in ("micro/ib_insert_batch", "micro/frontier_shard_of"):
+    if name in ("micro/ib_insert_batch", "micro/frontier_shard_of",
+                "micro/scan_sort_load_codec", "micro/codec_compare_bound"):
         echo(f"  ok   {name}: speedup {scenario['speedup']:.2f}x "
              f"({scenario['baseline']['wall_seconds']:.3f}s -> "
              f"{scenario['optimized']['wall_seconds']:.3f}s)")
+    elif name == "codec/sim_sweep":
+        echo(f"  ok   {name}: sim {scenario['speedup_sim']:.2f}x, "
+             f"wall {scenario['speedup_wall']:.2f}x")
+    elif name == "rebuild/reuse_runs":
+        echo(f"  ok   {name}: 0 pages rescanned, sim "
+             f"{scenario['speedup_vs_seed_build']:.2f}x vs seed build")
     elif name == "parallel_sf/p_sweep":
         speedups = ", ".join(
             f"P={p}: {ratio:.2f}x" for p, ratio
@@ -800,6 +1068,54 @@ def check_payload(payload: dict, reference: Optional[dict], *,
             problems.append(
                 f"ib-insert speedup {speedup:.2f}x under floor "
                 f"{floor:.2f}x")
+    compare_bound = find_scenario(payload, "micro/codec_compare_bound")
+    bound_speedup = compare_bound.get("speedup") \
+        if compare_bound and compare_bound.get("ok") else None
+    if bound_speedup is not None:
+        floor = None
+        if reference is not None:
+            ref_bound = find_scenario(reference,
+                                      "micro/codec_compare_bound")
+            ref_speedup = (ref_bound or {}).get("speedup")
+            if isinstance(ref_speedup, (int, float)) \
+                    and reference.get("mode") == payload.get("mode"):
+                floor = ref_speedup * (1.0 - max_regression)
+        if floor is None:
+            floor = MIN_CODEC_SPEEDUP * (1.0 - max_regression)
+        if bound_speedup < floor:
+            problems.append(
+                f"codec comparison-bound speedup {bound_speedup:.2f}x "
+                f"under floor {floor:.2f}x")
+    codec = find_scenario(payload, "micro/scan_sort_load_codec")
+    codec_speedup = codec.get("speedup") if codec and codec.get("ok") \
+        else None
+    if codec_speedup is not None and reference is not None:
+        # End-to-end pipeline ratio: regression-gated row-by-row against
+        # the committed baseline (no absolute floor -- see the note on
+        # MIN_CODEC_SPEEDUP above).
+        ref_codec = find_scenario(reference, "micro/scan_sort_load_codec")
+        ref_speedup = (ref_codec or {}).get("speedup")
+        if isinstance(ref_speedup, (int, float)) \
+                and reference.get("mode") == payload.get("mode") \
+                and codec_speedup < ref_speedup * (1.0 - max_regression):
+            problems.append(
+                f"codec scan+sort+load speedup {codec_speedup:.2f}x "
+                f"regressed from baseline {ref_speedup:.2f}x")
+    codec_sim = find_scenario(payload, "codec/sim_sweep")
+    if codec_sim is not None and codec_sim.get("ok"):
+        # Simulated clock: machine-independent, gated on the raw floor.
+        ratio = codec_sim.get("speedup_sim")
+        if isinstance(ratio, (int, float)) \
+                and ratio < MIN_CODEC_SIM_SPEEDUP:
+            problems.append(
+                f"codec simulated build speedup {ratio:.2f}x under "
+                f"floor {MIN_CODEC_SIM_SPEEDUP:.2f}x")
+    rebuild = find_scenario(payload, "rebuild/reuse_runs")
+    if rebuild is not None and rebuild.get("ok") \
+            and rebuild.get("pages_scanned_delta") != 0:
+        problems.append(
+            "rebuild/reuse_runs rescanned "
+            f"{rebuild.get('pages_scanned_delta')} table pages")
     sweep = find_scenario(payload, "parallel_sf/p_sweep")
     if sweep is not None and sweep.get("ok"):
         # The parallel scan+sort speedup is on the simulated clock, so it

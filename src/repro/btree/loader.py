@@ -58,7 +58,8 @@ class BulkLoader:
 
     def append(self, key_value, rid: RID) -> None:
         """Append the next key in sorted order."""
-        rid = RID(*rid)
+        if type(rid) is not RID:  # tolerate raw (page, slot) tuples
+            rid = RID(*rid)
         composite = (key_value, rid)
         if self._last_composite is not None \
                 and composite < self._last_composite:

@@ -947,7 +947,10 @@ class BTree:
         visit_cost = self.system.config.drain_visit_cost
         leaf_covers = self._leaf_covers
         apply_one = self._sf_apply_one
-        work = [(op, kv, RID(*raw_rid)) for op, kv, raw_rid in entries]
+        # Side-file entries already carry RID instances; re-wrapping every
+        # one allocated a throwaway tuple per key in the drain hot loop.
+        work = [(op, kv, rid if type(rid) is RID else RID(*rid))
+                for op, kv, rid in entries]
         total = len(work)
         applied = 0
         index = 0

@@ -5,6 +5,9 @@ Public entry points:
 * :class:`NSFIndexBuilder` -- algorithm NSF (section 2);
 * :class:`SFIndexBuilder` -- algorithm SF (section 3);
 * :class:`OfflineIndexBuilder` -- the quiesced baseline;
+* :class:`RebuildIndexBuilder` -- drop + rebuild an existing index from
+  its sealed sorted runs without rescanning the table (via
+  :meth:`repro.system.System.rebuild_index`);
 * :func:`resume_build` -- restart an interrupted build after recovery;
 * :func:`cleanup_pseudo_deleted` -- background GC (section 2.2.4);
 * :func:`cancel_build` -- drop an in-progress build (section 2.3.2).
@@ -23,6 +26,7 @@ from repro.core.maintenance import (
     NSF_MODE,
     OFFLINE_MODE,
     PSF_MODE,
+    REBUILD_MODE,
     SF_LIKE_MODES,
     SF_MODE,
     install_maintenance,
@@ -41,7 +45,7 @@ BUILDERS = {
 }
 
 #: builders resumable from a utility checkpoint
-RESUMABLE_MODES = ("nsf", "sf", "psf", "multi")
+RESUMABLE_MODES = ("nsf", "sf", "psf", "multi", "rebuild")
 
 
 def get_builder(mode: str):
@@ -58,6 +62,9 @@ def get_builder(mode: str):
     if mode == "multi":
         from repro.multibuild import MultiIndexBuilder
         return MultiIndexBuilder
+    if mode == "rebuild":
+        from repro.core.rebuild import RebuildIndexBuilder
+        return RebuildIndexBuilder
     return BUILDERS[mode]
 
 
@@ -73,6 +80,9 @@ def _dispatch_pre_undo(system: "System", utility_state: dict) -> None:
     elif builder == "multi":
         from repro.multibuild import multi_pre_undo
         multi_pre_undo(system, utility_state)
+    elif builder == "rebuild":
+        from repro.core.rebuild import rebuild_pre_undo
+        rebuild_pre_undo(system, utility_state)
 
 
 def build_pre_undo(system: "System", utility_state: dict) -> None:
@@ -145,6 +155,7 @@ __all__ = [
     "OFFLINE_MODE",
     "OfflineIndexBuilder",
     "PSF_MODE",
+    "REBUILD_MODE",
     "RESUMABLE_MODES",
     "SFIndexBuilder",
     "SF_LIKE_MODES",

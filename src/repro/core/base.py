@@ -24,7 +24,13 @@ from repro.core.throttle import TokenBucket
 from repro.faultinject.sites import fault_point, fault_points_enabled
 from repro.sim.kernel import Acquire, Delay
 from repro.sim.latch import SHARE
-from repro.sort import RunFormation, RunStore, final_merger
+from repro.sort import (
+    CompressedRunFormation,
+    KeyCodec,
+    RunFormation,
+    RunStore,
+    final_merger,
+)
 from repro.storage.rid import RID
 from repro.wal.manager import LogManager
 
@@ -89,6 +95,18 @@ class BuildOptions:
     #: PSF: number of range partitions / scan workers (None -> builder
     #: default; ignored by the serial builders)
     partitions: Optional[int] = None
+    #: encode composite keys into fixed-width machine integers at scan
+    #: time (compressed key sort); the tournament trees then compare one
+    #: int per match instead of a composite tuple, and decode is deferred
+    #: until the keys enter the tree (experiment E25)
+    compressed_keys: bool = False
+    #: simulated time per key-comparison *width unit* in the sort's
+    #: tournament trees (0.0 = comparisons are free, the historical
+    #: schedule).  A raw composite key costs ``len(key_columns) + 2``
+    #: units per comparison (each column plus the rid pair), an encoded
+    #: key exactly 1 -- this is what makes the codec speedup visible on
+    #: the simulated clock.
+    key_compare_cost: float = 0.0
 
 
 class BuilderBase:
@@ -112,6 +130,16 @@ class BuilderBase:
         self.timings: dict[str, float] = {}
         self.error: Optional[BaseException] = None
         self._sorters: dict[str, RunFormation] = {}
+        #: one shared key codec per index (compressed_keys only): PSF
+        #: shard sorters and crash-resumed sorters must all agree on the
+        #: column layout, so the codec instance is per-index, not
+        #: per-sorter
+        self._codecs: dict[str, KeyCodec] = {}
+        #: codec fault-site bookkeeping (armed sweeps only)
+        self._codec_bind_fired: set[str] = set()
+        self._codec_spills_seen: dict[str, int] = {}
+        #: sorter comparisons already charged to the simulated clock
+        self._compare_charged: dict[str, int] = {}
         #: open trace spans by key (see :meth:`_trace_begin`)
         self._trace_spans: dict[str, int] = {}
         #: wal.bytes counter at span begin, for per-phase WAL volume
@@ -198,10 +226,43 @@ class BuilderBase:
             self.system.run_stores[name] = store
         return store
 
+    def _codec_for(self, name: str) -> KeyCodec:
+        """The per-index key codec (created on first use)."""
+        codec = self._codecs.get(name)
+        if codec is None:
+            codec = KeyCodec()
+            self._codecs[name] = codec
+        return codec
+
+    def _new_sorter(self, descriptor: IndexDescriptor,
+                    workspace: Optional[int] = None,
+                    store: Optional[RunStore] = None) -> RunFormation:
+        """One run-formation sorter, compressed when the options say so."""
+        if store is None:
+            store = self._store_for(descriptor)
+        size = workspace if workspace is not None else self.sort_workspace
+        if self.options.compressed_keys:
+            return CompressedRunFormation(
+                store, size, self._codec_for(descriptor.name))
+        return RunFormation(store, size)
+
+    def _restore_sorter(self, descriptor: IndexDescriptor, manifest: dict,
+                        workspace: Optional[int] = None,
+                        store: Optional[RunStore] = None,
+                        prune: bool = True):
+        """Restore one sorter from its checkpoint manifest, threading the
+        shared per-index codec through when the build is compressed."""
+        if store is None:
+            store = self._store_for(descriptor)
+        size = workspace if workspace is not None else self.sort_workspace
+        codec = self._codec_for(descriptor.name) \
+            if self.options.compressed_keys else None
+        return RunFormation.restore(store, manifest, size,
+                                    prune=prune, codec=codec)
+
     def _make_sorters(self) -> None:
         for descriptor in self.descriptors:
-            self._sorters[descriptor.name] = RunFormation(
-                self._store_for(descriptor), self.sort_workspace)
+            self._sorters[descriptor.name] = self._new_sorter(descriptor)
 
     # -- IB admission control ----------------------------------------------
 
@@ -243,6 +304,19 @@ class BuilderBase:
         if rate and self._rate_bucket is None:
             self._rate_bucket = self.system.build_bucket(rate)
 
+    def _restore_codec(self, utility_state: dict) -> None:
+        """Re-arm compressed-key sorting from a utility checkpoint.
+
+        ``resume()`` classmethods construct the builder with default
+        options, so the codec flag (and each index's persisted column
+        layout) must be restored before any sorter is rebuilt."""
+        if not utility_state.get("codec"):
+            return
+        self.options.compressed_keys = True
+        for name, manifest in (utility_state.get("sort_codecs")
+                               or {}).items():
+            self._codec_for(name).adopt(manifest)
+
     # -- the shared data scan (generator) ----------------------------------------------
 
     def _scan_and_sort(self, start_page: int = 0):
@@ -267,6 +341,7 @@ class BuilderBase:
         extractors = [(d.key_of, self._sorters[d.name].push)
                       for d in self.descriptors]
         fp_enabled = fault_points_enabled(metrics)
+        compare_cost = self.options.key_compare_cost
         pages_before = metrics.get("build.pages_scanned")
         self._trace_begin("scan", start_page=start_page)
         while True:
@@ -290,11 +365,15 @@ class BuilderBase:
                     if records:
                         yield Delay(len(records)
                                     * self.options.key_extract_cost)
+                    if compare_cost:
+                        yield from self._charge_compare_cost(compare_cost)
                     self._after_page_scanned(page)
                 finally:
                     page.latch.release(self.system.sim.current)
                 self.system.metrics.incr("build.pages_scanned")
                 fault_point(self.system.metrics, "build.scan_page")
+                if fp_enabled and self._codecs:
+                    self._codec_fault_points(metrics)
             pages_since_checkpoint += len(batch_ids)
             page_no = upto
             self._progress_scan(len(batch_ids), last_page)
@@ -306,6 +385,10 @@ class BuilderBase:
         self._trace_end("scan",
                         pages=metrics.get("build.pages_scanned")
                         - pages_before)
+        for name, codec in self._codecs.items():
+            self._trace_instant("sort.encode", index=name,
+                                kinds=codec.kinds, spills=codec.spills,
+                                active=codec.active)
         return last_page
 
     def _scan_and_sort_parallel(self, start_page: int = 0):
@@ -368,6 +451,45 @@ class BuilderBase:
             if proc.error is not None:  # pragma: no cover - reader bug
                 raise proc.error
         return last_page
+
+    def _compare_units(self, descriptor: IndexDescriptor,
+                       sorter: RunFormation) -> int:
+        """Simulated width of one tournament comparison for this sorter:
+        1 for codec-encoded ints, each key column plus the two rid fields
+        for raw composite tuples."""
+        if isinstance(sorter, CompressedRunFormation) and sorter.codec.active:
+            return 1
+        return len(descriptor.key_columns) + 2
+
+    def _charge_compare_cost(self, cost: float):
+        """Generator: charge simulated time for tournament comparisons
+        performed since the last charge (``key_compare_cost`` only; the
+        default 0.0 never reaches this, keeping historical schedules)."""
+        charged = self._compare_charged
+        delta = 0.0
+        for descriptor in self.descriptors:
+            sorter = self._sorters.get(descriptor.name)
+            if sorter is None:
+                continue
+            name = descriptor.name
+            done = sorter.comparisons
+            delta += (done - charged.get(name, 0)) \
+                * self._compare_units(descriptor, sorter)
+            charged[name] = done
+        if delta:
+            yield Delay(delta * cost)
+
+    def _codec_fault_points(self, metrics) -> None:
+        """Fire the codec fault sites on state transitions (armed sweeps
+        only -- the caller guards on ``fault_points_enabled``)."""
+        for name, codec in self._codecs.items():
+            if codec.bound and name not in self._codec_bind_fired:
+                self._codec_bind_fired.add(name)
+                fault_point(metrics, "sort.codec.bind")
+            spills = codec.spills
+            if spills > self._codec_spills_seen.get(name, 0):
+                self._codec_spills_seen[name] = spills
+                fault_point(metrics, "sort.codec.spill")
 
     def _scan_limit(self, noted_last_page: int) -> int:
         """How far the scan goes.
@@ -439,6 +561,17 @@ class BuilderBase:
         # checkpoint payloads stay byte-identical.
         if self._progress is not None:
             payload["progress"] = self._progress.checkpoint_state()
+        # Compressed-key builds persist each index's codec layout so the
+        # resumed sorters rebind identically (a resumed scan must not
+        # re-derive a different column layout from a different first
+        # key).  Conditional keys: codec-off payloads stay unchanged.
+        if self.options.compressed_keys:
+            payload["codec"] = True
+            layouts = {name: codec.to_manifest()
+                       for name, codec in self._codecs.items()
+                       if codec.bound or codec.disabled}
+            if layouts:
+                payload["sort_codecs"] = layouts
         payload.update(state)
         if self.context is not None:
             payload["current_rid"] = tuple(self.context.current_rid)

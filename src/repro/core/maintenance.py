@@ -44,14 +44,19 @@ SF_MODE = "sf"
 PSF_MODE = "psf"
 MULTI_MODE = "multi"
 OFFLINE_MODE = "offline"
+REBUILD_MODE = "rebuild"
 
 #: Modes that route maintenance through a side-file.  PSF (the partitioned
 #: parallel build, :mod:`repro.parallel`) is SF with a frontier *vector*
 #: instead of a single Current-RID; MULTI (:mod:`repro.multibuild`) is SF
 #: building K indexes from the one scan (section 6.2), each with its own
 #: side-file and flag flip; the Figure 1 / Figure 2 logic is otherwise
-#: identical.
-SF_LIKE_MODES = (SF_MODE, PSF_MODE, MULTI_MODE)
+#: identical.  REBUILD (:mod:`repro.core.rebuild`) reconstructs a dropped
+#: tree from sealed sorted runs without rescanning the table; while the
+#: new tree loads, concurrent maintenance routes through a side-file
+#: exactly as in SF with Current-RID at infinity (every record counts as
+#: "scanned" -- the sealed runs already cover the whole table).
+SF_LIKE_MODES = (SF_MODE, PSF_MODE, MULTI_MODE, REBUILD_MODE)
 
 
 @dataclass

@@ -151,10 +151,14 @@ class NSFIndexBuilder(BuilderBase):
         highest = None
         commit_every = self.options.commit_every_keys
         checkpoint_every = self.options.checkpoint_every_keys
+        codec = self._codecs.get(descriptor.name)
+        decode = codec.decode if codec is not None and codec.active else None
         while merger is not None:
             batch = merger.pop_many(self.ib_batch_keys)
             if not batch:
                 break
+            if decode is not None:
+                batch = [decode(encoded) for encoded in batch]
             yield from self._throttle(len(batch))
             yield from tree.ib_insert_batch(ib_txn, batch, cursor)
             fault_point(self.system.metrics, "nsf.insert_batch")
@@ -229,6 +233,7 @@ class NSFIndexBuilder(BuilderBase):
         builder._resume_state = utility_state
         builder._restore_throttle(utility_state)
         builder._restore_progress(utility_state)
+        builder._restore_codec(utility_state)
         return builder
 
     def _prepare_resume(self):
@@ -242,13 +247,11 @@ class NSFIndexBuilder(BuilderBase):
             scan_start = state.get("next_page", 0)
             manifests = state.get("sort", {})
             for descriptor in self.descriptors:
-                store = self._store_for(descriptor)
                 manifest = manifests.get(descriptor.name)
                 if manifest is not None:
-                    sorter, _pos = RunFormation.restore(
-                        store, manifest, self.sort_workspace)
+                    sorter, _pos = self._restore_sorter(descriptor, manifest)
                 else:
-                    sorter = RunFormation(store, self.sort_workspace)
+                    sorter = self._new_sorter(descriptor)
                 self._sorters[descriptor.name] = sorter
             self.system.metrics.incr("build.resumes.scan")
             return phase, scan_start, done_indexes, mergers

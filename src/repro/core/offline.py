@@ -57,10 +57,15 @@ class OfflineIndexBuilder(BuilderBase):
                 loaded = 0
                 keys_total = self._store_for(descriptor).total_keys() \
                     if self._progress is not None else 0
+                codec = self._codecs.get(descriptor.name)
+                decode = codec.decode \
+                    if codec is not None and codec.active else None
                 while merger is not None:
                     key = merger.pop()
                     if key is None:
                         break
+                    if decode is not None:
+                        key = decode(key)
                     loader.append(key[0], key[1])
                     loaded += 1
                     if loaded % 64 == 0:

@@ -34,7 +34,12 @@ from repro.core.maintenance import BuildContext, SF_MODE, install_maintenance
 from repro.faultinject.sites import fault_point
 from repro.sidefile import SideFile, register_sidefile_operations
 from repro.sim.kernel import Delay
-from repro.sort import RestartableMerger, RunFormation, run_sequence
+from repro.sort import (
+    RestartableMerger,
+    RunFormation,
+    RunStore,
+    run_sequence,
+)
 from repro.storage.rid import INFINITY_RID, RID
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -121,6 +126,14 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
                 self._write_utility_checkpoint({
                     "phase": "load-start",
                     "loaded_indexes": list(loaded)})
+                # Seal only after the checkpoint above: it is the first
+                # one that no longer references the merge, so moving the
+                # merger's output run out of the sort store can no
+                # longer strand a mid-load merge manifest (a crash
+                # before the seal simply skips it -- the previous sealed
+                # generation, if any, stays valid).
+                self._seal_sorted_runs(
+                    descriptor, mergers.get(descriptor.name))
             self._mark("load_done")
 
         for descriptor in self.descriptors:
@@ -195,18 +208,48 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
         checkpoint_every = self.options.checkpoint_every_keys
         since_checkpoint = 0
         since_yield = 0
+        codec = self._codecs.get(descriptor.name)
+        decode = codec.decode if codec is not None and codec.active else None
+        compare_cost = self.options.key_compare_cost
+        compare_units = 1 if decode is not None \
+            else len(descriptor.key_columns) + 2
+        merge_charged = 0
+        append = loader.append
+        key_cost = self.system.config.bulk_load_key_cost
+        # The merged keys are pulled in batches (pop_many inlines the
+        # tournament's fixup) but the yield and checkpoint cadence is
+        # key-exact: each batch is capped at the earlier of the next
+        # 64-key yield boundary and the next checkpoint boundary, so the
+        # simulated schedule is identical to the historical per-key loop.
         while merger is not None:
-            key = merger.pop()
-            if key is None:
+            take = 64 - since_yield
+            if checkpoint_every:
+                slack = checkpoint_every - since_checkpoint
+                if 0 < slack < take:
+                    take = slack
+            batch = merger.pop_many(take)
+            if not batch:
                 break
-            loader.append(key[0], RID(*key[1]))
-            keys_loaded += 1
-            since_checkpoint += 1
-            since_yield += 1
+            if decode is not None:
+                for encoded in batch:
+                    key_value, raw = decode(encoded)
+                    append(key_value, RID(*raw))
+            else:
+                for key in batch:
+                    append(key[0], RID(*key[1]))
+            produced = len(batch)
+            keys_loaded += produced
+            since_checkpoint += produced
+            since_yield += produced
             if since_yield >= 64:
                 yield from self._throttle(since_yield)
-                yield Delay(since_yield
-                            * self.system.config.bulk_load_key_cost)
+                yield Delay(since_yield * key_cost)
+                if compare_cost:
+                    done = merger._tree.comparisons
+                    charge = (done - merge_charged) * compare_units
+                    merge_charged = done
+                    if charge:
+                        yield Delay(charge * compare_cost)
                 since_yield = 0
                 self._progress_units(f"load:{descriptor.name}",
                                      keys_loaded, keys_total)
@@ -227,12 +270,66 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
         if since_yield:
             yield from self._throttle(since_yield)
             yield Delay(since_yield * self.system.config.bulk_load_key_cost)
+            if compare_cost and merger is not None:
+                done = merger._tree.comparisons
+                charge = (done - merge_charged) * compare_units
+                merge_charged = done
+                if charge:
+                    yield Delay(charge * compare_cost)
         loader.finish()
         tree.force()
         self._progress_phase_done(f"load:{descriptor.name}")
         self._trace_end(f"load:{descriptor.name}", keys=keys_loaded)
         self._mark(f"load_done:{descriptor.name}")
         fault_point(self.system.metrics, "sf.load_done")
+
+    def _seal_sorted_runs(self, descriptor, merger) -> None:
+        """Seal the final merge output for fast index reconstruction.
+
+        The fully merged, forced run holds every key the bulk load just
+        consumed, in order -- exactly what a drop+rebuild would otherwise
+        re-derive by scanning and re-sorting the whole table.  Park it in
+        the per-index ``sealed:`` store and record a manifest so
+        :meth:`repro.system.System.rebuild_index` can reuse it with zero
+        table-page reads (experiment E25).
+        """
+        system = self.system
+        sealed_name = f"sealed:{descriptor.name}"
+        sealed = system.run_stores.get(sealed_name)
+        if sealed is None:
+            sealed = RunStore(prefix=sealed_name)
+            system.run_stores[sealed_name] = sealed
+        runs: list[str] = []
+        lengths: dict[str, int] = {}
+        if merger is not None:
+            output = merger.output
+            output.closed = True
+            output.force()
+            # MOVE the output out of the build's run store: left closed
+            # there, the torn-snapshot fallback (which re-merges every
+            # closed run in the store) would merge the output *and* its
+            # inputs, doubling every key.
+            self._store_for(descriptor).discard(output.name)
+            sealed.runs[output.name] = output
+            runs = [output.name]
+            lengths[output.name] = len(output)
+        # Drop any previously sealed generation (and, for a rebuild, the
+        # inputs it just consumed): one sealed run per index.
+        sealed.keep_only(runs)
+        codec = self._codecs.get(descriptor.name)
+        system.sealed_runs[descriptor.name] = {
+            "index": descriptor.name,
+            "table": self.table.name,
+            "key_columns": list(descriptor.key_columns),
+            "unique": descriptor.unique,
+            "runs": runs,
+            "lengths": lengths,
+            "codec": codec.to_manifest() if codec is not None else None,
+        }
+        system.metrics.incr("rebuild.runs_sealed", len(runs))
+        self._trace_instant("rebuild.seal", index=descriptor.name,
+                            runs=list(runs))
+        fault_point(system.metrics, "rebuild.sealed")
 
     # -- phase 4: side-file drain --------------------------------------------
     #
@@ -263,6 +360,7 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
         builder._resume_state = utility_state
         builder._restore_throttle(utility_state)
         builder._restore_progress(utility_state)
+        builder._restore_codec(utility_state)
         return builder
 
     def _prepare_resume(self):
@@ -281,13 +379,11 @@ class SFIndexBuilder(SideFileDrainer, BuilderBase):
             scan_start = state.get("next_page", 0)
             manifests = state.get("sort", {})
             for descriptor in self.descriptors:
-                store = self._store_for(descriptor)
                 manifest = manifests.get(descriptor.name)
                 if manifest is not None:
-                    sorter, _pos = RunFormation.restore(
-                        store, manifest, self.sort_workspace)
+                    sorter, _pos = self._restore_sorter(descriptor, manifest)
                 else:
-                    sorter = RunFormation(store, self.sort_workspace)
+                    sorter = self._new_sorter(descriptor)
                 self._sorters[descriptor.name] = sorter
             self.system.metrics.incr("build.resumes.scan")
             return phase, scan_start, loaded, drained, mergers, \

@@ -87,6 +87,11 @@ class SweepConfig:
     #: The throttle must be crash-transparent: every plan of a throttled
     #: sweep recovers and audits exactly like the unthrottled sweep.
     build_rate_limit: Optional[float] = None
+    #: compressed-key sort (experiment E25).  The codec must be
+    #: crash-transparent too: every plan of a codec-on sweep recovers
+    #: and audits exactly like the codec-off sweep, with the resumed
+    #: sorters adopting the checkpointed column layout.
+    compressed_keys: bool = False
 
     def system_config(self) -> SystemConfig:
         return SystemConfig(page_capacity=8, leaf_capacity=8,
@@ -99,7 +104,8 @@ class SweepConfig:
             checkpoint_every_pages=self.checkpoint_every_pages,
             checkpoint_every_keys=self.checkpoint_every_keys,
             commit_every_keys=self.commit_every_keys,
-            partitions=self.partitions)
+            partitions=self.partitions,
+            compressed_keys=self.compressed_keys)
 
     def make_injector(self, plan: Optional[FaultPlan] = None
                       ) -> FaultInjector:
@@ -212,11 +218,26 @@ def _start_build(config: SweepConfig,
     system.run()
     if preload.error is not None:  # pragma: no cover - setup bug
         raise preload.error
+    if config.builder == "rebuild":
+        # Seed the sealed runs with one clean, uninjected SF build; the
+        # injector installs after it, so the census covers exactly the
+        # rebuild-era schedule.
+        seed = get_builder("sf")(system, table,
+                                 _index_specs(config.builder),
+                                 options=config.build_options())
+        seed_proc = system.spawn(seed.run(), name="seed-builder")
+        system.run()
+        if seed_proc.error is not None:  # pragma: no cover - setup bug
+            raise seed_proc.error
     if injector is not None:
         injector.install(system)
-    builder_cls = get_builder(config.builder)
-    builder = builder_cls(system, table, _index_specs(config.builder),
-                          options=config.build_options())
+    if config.builder == "rebuild":
+        builder = system.rebuild_index(INDEX_NAME,
+                                       options=config.build_options())
+    else:
+        builder_cls = get_builder(config.builder)
+        builder = builder_cls(system, table, _index_specs(config.builder),
+                              options=config.build_options())
     proc = system.spawn(builder.run(), name="builder")
     driver.spawn_workers()
     return system, table, proc
@@ -247,6 +268,16 @@ def _recover_and_audit(config: SweepConfig, system: System) -> str:
     resumed = resume_build(recovered, state)
     if resumed is not None:
         proc = recovered.spawn(resumed.run(), name="resumed")
+        recovered.run()
+        if proc.error is not None:
+            raise proc.error
+    if config.builder == "rebuild" and resumed is None:
+        # The crash predated the rebuild's first (pre-flip) checkpoint:
+        # the live index survived untouched and AVAILABLE.  Re-issue the
+        # rebuild -- the sealed runs must still be valid.
+        rebuilder = recovered.rebuild_index(
+            INDEX_NAME, options=config.build_options())
+        proc = recovered.spawn(rebuilder.run(), name="resumed")
         recovered.run()
         if proc.error is not None:
             raise proc.error
@@ -398,7 +429,8 @@ def main(argv: Optional[list] = None) -> int:
         description="Crash-sweep a seeded online index build: inject one "
                     "fault per (site, hit) pair and prove restart "
                     "recovery + audit.")
-    parser.add_argument("--builder", choices=("nsf", "sf", "psf", "multi"),
+    parser.add_argument("--builder",
+                        choices=("nsf", "sf", "psf", "multi", "rebuild"),
                         default="sf")
     parser.add_argument("--partitions", type=int, default=2,
                         help="psf shard count (ignored by nsf/sf)")
@@ -410,6 +442,10 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--build-rate-limit", type=float, default=None,
                         help="IB admission-control rate (work items per "
                              "simulated time unit; default unthrottled)")
+    parser.add_argument("--codec", action="store_true",
+                        help="sort with compressed keys (experiment E25); "
+                             "the sweep proves the codec is "
+                             "crash-transparent")
     parser.add_argument("--no-damage-kinds", action="store_true",
                         help="inject plain crashes only")
     parser.add_argument("--list-sites", action="store_true",
@@ -432,6 +468,7 @@ def main(argv: Optional[list] = None) -> int:
         include_damage_kinds=not args.no_damage_kinds,
         max_plans=args.max_plans,
         build_rate_limit=args.build_rate_limit,
+        compressed_keys=args.codec,
     )
     if args.list_sites:
         discovered = discover(config)

@@ -205,6 +205,7 @@ class MultiIndexBuilder(SFIndexBuilder):
         builder._resume_state = utility_state
         builder._restore_throttle(utility_state)
         builder._restore_progress(utility_state)
+        builder._restore_codec(utility_state)
         return builder
 
     def _prepare_multi_resume(self):
@@ -230,13 +231,11 @@ class MultiIndexBuilder(SFIndexBuilder):
             scan_start = state.get("next_page", 0)
             manifests = state.get("sort", {})
             for descriptor in self.descriptors:
-                store = self._store_for(descriptor)
                 manifest = manifests.get(descriptor.name)
                 if manifest is not None:
-                    sorter, _pos = RunFormation.restore(
-                        store, manifest, self.sort_workspace)
+                    sorter, _pos = self._restore_sorter(descriptor, manifest)
                 else:
-                    sorter = RunFormation(store, self.sort_workspace)
+                    sorter = self._new_sorter(descriptor)
                 self._sorters[descriptor.name] = sorter
             metrics.incr("build.resumes.scan")
             return "scan", scan_start, mergers

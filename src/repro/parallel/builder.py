@@ -152,8 +152,7 @@ class ParallelSFBuilder(SFIndexBuilder):
                      "ckpt_page": partition.start, "sort": {}, "runs": {}}
             self._shard_states[partition.index] = state
             self._shard_sorters[partition.index] = {
-                d.name: RunFormation(self._store_for(d),
-                                     self._shard_workspace)
+                d.name: self._new_sorter(d, workspace=self._shard_workspace)
                 for d in self.descriptors}
             self.system.metrics.observe(
                 f"psf.shard_pages.{partition.index}", partition.pages)
@@ -267,6 +266,8 @@ class ParallelSFBuilder(SFIndexBuilder):
                 metrics.incr(f"psf.pages_scanned.{shard}")
                 self._progress_scan(1, 0)
                 fault_point(metrics, "psf.worker.scan_page")
+                if fp_enabled and self._codecs:
+                    self._codec_fault_points(metrics)
             pages_since_checkpoint += len(batch_ids)
             page_no = upto
             state["next_page"] = page_no
@@ -385,6 +386,7 @@ class ParallelSFBuilder(SFIndexBuilder):
         builder._resume_state = utility_state
         builder._restore_throttle(utility_state)
         builder._restore_progress(utility_state)
+        builder._restore_codec(utility_state)
         return builder
 
     def _prepare_resume(self):
@@ -431,15 +433,15 @@ class ParallelSFBuilder(SFIndexBuilder):
             sorters: dict[str, RunFormation] = {}
             restart_page = frontier.partitions[shard].start
             for descriptor in self.descriptors:
-                store = self._store_for(descriptor)
                 manifest = shard_state["sort"].get(descriptor.name)
                 if manifest is not None:
-                    sorter, restart_page = RunFormation.restore(
-                        store, manifest, self._shard_workspace,
-                        prune=False)
+                    sorter, restart_page = self._restore_sorter(
+                        descriptor, manifest,
+                        workspace=self._shard_workspace, prune=False)
                     keep.extend(manifest["runs"])
                 else:
-                    sorter = RunFormation(store, self._shard_workspace)
+                    sorter = self._new_sorter(
+                        descriptor, workspace=self._shard_workspace)
                 sorters[descriptor.name] = sorter
             self._shard_sorters[shard] = sorters
             shard_state["next_page"] = restart_page

@@ -190,6 +190,12 @@ def _rebuild_catalog(crashed: System, system: System) -> None:
         system.sidefiles[name] = sidefile
     for name, store in crashed.run_stores.items():
         system.run_stores[name] = store
+    # Sealed-run manifests ride with their stores: the runs themselves
+    # were just carried across (crash() already truncated each to its
+    # stable prefix -- sealed runs are forced at seal time, so a valid
+    # seal survives intact and a torn one fails rebuild validation).
+    for name, manifest in crashed.sealed_runs.items():
+        system.sealed_runs[name] = manifest
     register_sidefile_operations(system)
     for table in system.tables.values():
         if table.indexes:
@@ -213,6 +219,11 @@ def _discard_orphan_builds(system: System, utility_state: dict) -> None:
         descriptor.detach()
         system.sidefiles.pop(name, None)
         system.run_stores.pop(f"sort:{name}", None)
+        # A sealed store under an orphan's name can only be a leftover
+        # from an earlier same-named index; rebuilding the orphan from it
+        # would resurrect the wrong tree.
+        system.run_stores.pop(f"sealed:{name}", None)
+        system.sealed_runs.pop(name, None)
         system.metrics.incr("recovery.orphan_builds_discarded")
         if system.metrics.tracer is not None:
             system.metrics.tracer.instant("recovery.orphan_discard",

@@ -89,6 +89,10 @@ class ScheduleConfig:
     #: A throttled build's delays reshuffle ties, so every interleaving
     #: the sweep explores must still pass the full oracle.
     build_rate_limit: Optional[float] = None
+    #: compressed-key sort (experiment E25): every interleaving the
+    #: sweep explores must produce the same audited tree with the codec
+    #: on as off.
+    compressed_keys: bool = False
 
     def system_config(self) -> SystemConfig:
         return SystemConfig(page_capacity=8, leaf_capacity=8,
@@ -101,7 +105,8 @@ class ScheduleConfig:
             checkpoint_every_pages=self.checkpoint_every_pages,
             checkpoint_every_keys=self.checkpoint_every_keys,
             commit_every_keys=self.commit_every_keys,
-            partitions=self.partitions)
+            partitions=self.partitions,
+            compressed_keys=self.compressed_keys)
 
     def make_policy(self, plan: "SchedulePlan"):
         if plan.choices is not None:
@@ -397,6 +402,10 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--build-rate-limit", type=float, default=None,
                         help="IB admission-control rate (work items per "
                              "simulated time unit; default unthrottled)")
+    parser.add_argument("--codec", action="store_true",
+                        help="sort with compressed keys (experiment E25); "
+                             "every explored interleaving must still pass "
+                             "the full oracle")
     parser.add_argument("--schedule-seed", type=int, default=None,
                         help="run exactly one seeded schedule and exit")
     parser.add_argument("--replay", default=None, metavar="CHOICES",
@@ -419,6 +428,7 @@ def main(argv: Optional[list] = None) -> int:
         preempt_prob=args.preempt_prob,
         max_preemptions=args.max_preemptions,
         build_rate_limit=args.build_rate_limit,
+        compressed_keys=args.codec,
     )
 
     if args.replay is not None or args.schedule_seed is not None:

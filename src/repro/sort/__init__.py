@@ -1,5 +1,6 @@
 """Restartable external sort (section 5 of the paper)."""
 
+from repro.sort.codec import KeyCodec, SpilledKey
 from repro.sort.merge import (
     RestartableMerger,
     final_merger,
@@ -7,16 +8,19 @@ from repro.sort.merge import (
     merge_to_single,
 )
 from repro.sort.runs import RunStore, SortRun, run_sequence
-from repro.sort.sorter import RunFormation
+from repro.sort.sorter import CompressedRunFormation, RunFormation
 from repro.sort.tournament import INF, LoserTree
 
 __all__ = [
     "INF",
+    "CompressedRunFormation",
+    "KeyCodec",
     "LoserTree",
     "RestartableMerger",
     "RunFormation",
     "RunStore",
     "SortRun",
+    "SpilledKey",
     "final_merger",
     "merge_pass",
     "merge_to_single",

@@ -38,6 +38,16 @@ class RestartableMerger:
             else [1] * len(inputs)
         if len(self.counters) != len(self.inputs):
             raise SortRestartError("one counter per input stream required")
+        # A counter is the 1-based position of the next key to read, so the
+        # legal range is [1, len(run) + 1] (the latter: input exhausted).
+        # Restored counters outside it mean the checkpoint does not belong
+        # to these runs -- e.g. a stale manifest applied to reused sealed
+        # runs -- and would silently merge from the wrong offsets.
+        for run, counter in zip(self.inputs, self.counters):
+            if not 1 <= counter <= len(run.keys) + 1:
+                raise SortRestartError(
+                    f"counter {counter} out of range for run {run.name!r} "
+                    f"with {len(run.keys)} keys")
         self._tree = LoserTree(len(self.inputs))
         for slot, run in enumerate(self.inputs):
             self._tree.set(slot, self._key_at(run, self.counters[slot]))
@@ -77,18 +87,46 @@ class RestartableMerger:
         build, and the per-key method dispatch was measurable.
         """
         tree = self._tree
-        inputs = self.inputs
+        if not tree._built:
+            tree.build()
         counters = self.counters
         append = self.output.append
-        key_at = self._key_at
+        values = tree.values
+        losers = tree._losers
+        size = tree.size
+        keys_by_slot = [run.keys for run in self.inputs]
         out: list[Any] = []
-        while len(out) < limit and not tree.exhausted:
-            slot, value = tree.pop()
+        out_append = out.append
+        compared = 0
+        winner = losers[0]
+        while len(out) < limit:
+            value = values[winner]
+            if isinstance(value, _Infinite):
+                break
             append(value)
-            counters[slot] += 1
-            tree.set(slot, key_at(inputs[slot], counters[slot]))
-            tree.fixup(slot)
-            out.append(value)
+            out_append(value)
+            counter = counters[winner] + 1
+            counters[winner] = counter
+            keys = keys_by_slot[winner]
+            replacement = keys[counter - 1] if counter <= len(keys) else INF
+            values[winner] = replacement
+            # Inlined fixup: replay matches from the refilled leaf upward.
+            node = (winner + size) // 2
+            while node >= 1:
+                loser = losers[node]
+                compared += 1
+                contender = values[loser]
+                # A bare ``<`` is total here: _Infinite answers False on
+                # the left and (via the reflected operator) True on the
+                # right, so the isinstance guards this used to carry were
+                # two redundant tests per match in the hottest loop.
+                if contender < replacement:
+                    losers[node] = winner
+                    winner = loser
+                    replacement = contender
+                node >>= 1
+            losers[0] = winner
+        tree.comparisons += compared
         return out
 
     def run_to_completion(self) -> SortRun:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.errors import SortRestartError
+from repro.sort.codec import KeyCodec, SpilledKey
 from repro.sort.runs import RunStore, SortRun
 from repro.sort.tournament import INF, LoserTree, _Infinite
 
@@ -46,6 +47,13 @@ class RunFormation:
         self._run_order: list[SortRun] = []
         self.keys_pushed = 0
         self._finished = False
+        #: comparisons from trees already drained and replaced
+        self._comparisons_base = 0
+
+    @property
+    def comparisons(self) -> int:
+        """Total tournament comparisons across every workspace fill."""
+        return self._comparisons_base + self._tree.comparisons
 
     # -- feeding ------------------------------------------------------------
 
@@ -101,6 +109,7 @@ class RunFormation:
                        if not isinstance(self._tree.values[i], _Infinite)]
             for seq, key in sorted(pending):
                 self._emit(seq, key)
+            self._comparisons_base += self._tree.comparisons
             self._tree = LoserTree(self.workspace_size)
             self._occupied = 0
             return
@@ -109,6 +118,7 @@ class RunFormation:
             self._emit(seq, key)
             self._tree.set(slot, INF)
             self._tree.fixup(slot)
+        self._comparisons_base += self._tree.comparisons
         self._tree = LoserTree(self.workspace_size)
         self._occupied = 0
 
@@ -147,7 +157,8 @@ class RunFormation:
     @classmethod
     def restore(cls, store: RunStore, manifest: dict,
                 workspace_size: int,
-                prune: bool = True) -> tuple["RunFormation", Any]:
+                prune: bool = True,
+                codec: Optional[KeyCodec] = None) -> tuple["RunFormation", Any]:
         """Rebuild run formation from a checkpoint after a crash.
 
         Returns ``(sorter, scan_position)``: the caller repositions IB's
@@ -157,14 +168,47 @@ class RunFormation:
         the parallel build keeps several shards' sorters on one shared
         store, so each shard restores with ``prune=False`` and the caller
         issues a single union ``keep_only`` across every shard's manifest.
+
+        A manifest carrying a ``codec`` layout restores a
+        :class:`CompressedRunFormation`; ``codec`` (for shard sorters that
+        share one codec per index) is validated against, or bound from,
+        the persisted layout.
         """
         if manifest.get("phase") != "sort":
             raise SortRestartError("manifest is not a sort-phase checkpoint")
+        run_names = list(manifest["runs"])
+        run_lengths = manifest["run_lengths"]
+        for name in run_names:
+            if name not in run_lengths:
+                raise SortRestartError(
+                    f"sort manifest records no length for run {name!r}")
+        if run_names and len(run_names) - 1 > manifest["emit_seq"]:
+            raise SortRestartError(
+                f"sort manifest emit_seq {manifest['emit_seq']} cannot cover "
+                f"{len(run_names)} runs")
+        if run_names and manifest.get("last_run") != run_names[-1]:
+            raise SortRestartError(
+                f"sort manifest last_run {manifest.get('last_run')!r} is not "
+                f"the newest run {run_names[-1]!r}")
         if prune:
-            store.keep_only(list(manifest["runs"]))
-        for name, length in manifest["run_lengths"].items():
-            store.get(name).truncate(length)
-        sorter = cls(store, workspace_size)
+            store.keep_only(run_names)
+        for name, length in run_lengths.items():
+            run = store.get(name)
+            if length > len(run):
+                raise SortRestartError(
+                    f"run {name!r} holds {len(run)} keys but the manifest "
+                    f"checkpointed {length}: stale manifest for a reused run")
+            run.truncate(length)
+        codec_manifest = manifest.get("codec")
+        if codec_manifest is not None:
+            if codec is None:
+                codec = KeyCodec.from_manifest(codec_manifest)
+            else:
+                codec.adopt(codec_manifest)
+            sorter: RunFormation = CompressedRunFormation(
+                store, workspace_size, codec)
+        else:
+            sorter = RunFormation(store, workspace_size)
         sorter._emit_seq = manifest["emit_seq"]
         for seq_offset, name in enumerate(manifest["runs"]):
             run = store.get(name)
@@ -178,3 +222,105 @@ class RunFormation:
         for run in sorter._run_order[:-1]:
             run.closed = True
         return sorter, manifest["scan_position"]
+
+
+class CompressedRunFormation(RunFormation):
+    """Run formation over codec-encoded keys (compressed key sort).
+
+    The caller still pushes raw ``(key_value, raw_rid)`` pairs; they are
+    encoded into machine integers at push time, so the tournament compares
+    one int per match instead of a composite tuple.  The run-sequence
+    number is folded into the code's high bits (``(seq << total_bits) |
+    code``) -- replacement selection then needs no ``(seq, key)`` tuple at
+    all.  Runs store *bare* codes (sequence stripped), so the merge phase
+    and the final-merger output also compare ints; decode happens only at
+    ``BulkLoader.append``.
+
+    If the codec cannot represent the first key's column types it disables
+    itself and every path falls back to the raw-tuple base class -- one
+    sorter never mixes encoded and raw keys.
+    """
+
+    def __init__(self, store: RunStore, workspace_size: int,
+                 codec: Optional[KeyCodec] = None) -> None:
+        super().__init__(store, workspace_size)
+        self.codec = codec if codec is not None else KeyCodec()
+
+    def push(self, pair: Any) -> None:
+        codec = self.codec
+        if not codec.bound and not codec.disabled:
+            codec.bind(pair[0])
+        if codec.disabled:
+            RunFormation.push(self, pair)
+            return
+        if self._finished:
+            raise SortRestartError("run formation already finished")
+        enc = codec.encode(pair[0], pair[1])
+        self.keys_pushed += 1
+        bits = codec.total_bits
+        if self._occupied < self.workspace_size:
+            seq = self._assign_seq(enc)
+            if type(enc) is int:
+                folded: Any = (seq << bits) | enc
+            else:
+                folded = SpilledKey((seq << bits) | enc.code, enc.raw)
+            self._tree.set(self._occupied, folded)
+            self._occupied += 1
+            if self._occupied == self.workspace_size:
+                self._tree.build()
+            return
+        slot, popped = self._tree.pop()
+        if type(popped) is int:
+            seq = popped >> bits
+            smallest: Any = popped & ((1 << bits) - 1)
+        else:
+            seq = popped.code >> bits
+            smallest = SpilledKey(popped.code & ((1 << bits) - 1), popped.raw)
+        self._emit(seq, smallest)
+        new_seq = seq if enc >= smallest else seq + 1
+        if type(enc) is int:
+            folded = (new_seq << bits) | enc
+        else:
+            folded = SpilledKey((new_seq << bits) | enc.code, enc.raw)
+        self._tree.set(slot, folded)
+        self._tree.fixup(slot)
+
+    def drain(self) -> None:
+        codec = self.codec
+        if codec.disabled or not codec.bound:
+            RunFormation.drain(self)
+            return
+        bits = codec.total_bits
+        mask = (1 << bits) - 1
+        tree = self._tree
+        if self._occupied < self.workspace_size:
+            pending = [tree.values[i] for i in range(self._occupied)
+                       if not isinstance(tree.values[i], _Infinite)]
+            pending.sort()
+            for folded in pending:
+                if type(folded) is int:
+                    self._emit(folded >> bits, folded & mask)
+                else:
+                    self._emit(folded.code >> bits,
+                               SpilledKey(folded.code & mask, folded.raw))
+            self._comparisons_base += tree.comparisons
+            self._tree = LoserTree(self.workspace_size)
+            self._occupied = 0
+            return
+        while not tree.exhausted:
+            slot, folded = tree.pop()
+            if type(folded) is int:
+                self._emit(folded >> bits, folded & mask)
+            else:
+                self._emit(folded.code >> bits,
+                           SpilledKey(folded.code & mask, folded.raw))
+            tree.set(slot, INF)
+            tree.fixup(slot)
+        self._comparisons_base += tree.comparisons
+        self._tree = LoserTree(self.workspace_size)
+        self._occupied = 0
+
+    def checkpoint(self, scan_position: Any) -> dict:
+        manifest = RunFormation.checkpoint(self, scan_position)
+        manifest["codec"] = self.codec.to_manifest()
+        return manifest

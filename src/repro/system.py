@@ -136,6 +136,12 @@ class System:
         self.sidefiles: dict[str, object] = {}
         #: sort-run stores by utility name; survive restart like side-files
         self.run_stores: dict[str, object] = {}
+        #: sealed-run manifests by index name: each completed SF-like
+        #: build parks its fully merged, forced final run in a
+        #: ``sealed:{index}`` store so :meth:`rebuild_index` can rebuild
+        #: the tree without rescanning the table; survives restart like
+        #: the run stores themselves
+        self.sealed_runs: dict[str, dict] = {}
         #: latest utility-checkpoint payload per table with an unfinished
         #: build.  Mirrored into every checkpoint record when more than
         #: one build is live, so concurrent builds stop clobbering each
@@ -161,6 +167,34 @@ class System:
         table = Table(self, name, columns, page_capacity=page_capacity)
         self.tables[name] = table
         return table
+
+    def rebuild_index(self, name: str, options=None):
+        """Prepare a fast drop + rebuild of an existing index.
+
+        Reuses the sealed sorted runs parked by the index's original
+        SF-like build -- no table scan, no re-sort, zero data-page reads
+        (experiment E25).  Returns a
+        :class:`repro.core.rebuild.RebuildIndexBuilder`; spawn its
+        ``run()`` to perform the rebuild online (concurrent updates
+        route through a side-file exactly as during an SF build).
+        """
+        from repro.core.rebuild import RebuildIndexBuilder
+        descriptor = self.indexes.get(name)
+        if descriptor is None:
+            raise StorageError(f"no index named {name!r}")
+        manifest = self.sealed_runs.get(name)
+        if manifest is None:
+            raise StorageError(
+                f"index {name!r} has no sealed sorted runs to rebuild "
+                "from (only completed SF-like builds seal their final "
+                "run; NSF- or offline-built indexes must be rebuilt "
+                "with a fresh full build)")
+        if self.builds.get(descriptor.table.name) is not None:
+            raise StorageError(
+                f"table {descriptor.table.name!r} already has an active "
+                "index build; rebuild after it completes")
+        return RebuildIndexBuilder.for_index(self, descriptor,
+                                             options=options)
 
     # -- IB admission control -----------------------------------------------
 

@@ -1,0 +1,217 @@
+"""Property tests for the order-preserving compressed key codec.
+
+The codec's contract (experiment E25): for any two composite keys with
+rids, ``encode(a, ra) < encode(b, rb)  <=>  (a, ra) < (b, rb)`` -- the
+encoded ints (or :class:`SpilledKey` wrappers, when the fixed-width
+encoding is lossy) sort exactly like the raw ``(key, rid)`` tuples, and
+``decode(encode(k, r)) == (k, r)`` always, spilled or not.
+
+The strategies deliberately hover around every spill boundary: the int
+window edges, strings at exactly / one past the prefix width, empty
+strings, embedded NUL characters, multi-byte UTF-8, and rid fields at
+their exact-encoding maxima.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sort import (
+    CompressedRunFormation,
+    KeyCodec,
+    RunFormation,
+    RunStore,
+    SpilledKey,
+    merge_to_single,
+)
+from repro.sort.codec import (
+    INT_OFFSET,
+    STR_PREFIX,
+    _INT_MAX_FIELD,
+    _RID_PAGE_EXACT_MAX,
+    _RID_SLOT_EXACT_MAX,
+)
+
+# Exact-encoding window for int columns: field = value + INT_OFFSET must
+# land strictly inside (0, _INT_MAX_FIELD).
+INT_EXACT_MIN = 1 - INT_OFFSET
+INT_EXACT_MAX = _INT_MAX_FIELD - 1 - INT_OFFSET
+
+int_columns = st.one_of(
+    st.integers(min_value=-(1 << 44), max_value=1 << 44),
+    st.sampled_from([INT_EXACT_MIN, INT_EXACT_MIN - 1, INT_EXACT_MAX,
+                     INT_EXACT_MAX + 1, -1, 0, 1]),
+)
+
+str_columns = st.one_of(
+    st.text(max_size=STR_PREFIX + 3),
+    st.sampled_from(["", "\x00", "a\x00b", "abcd", "abcde", "abcd\x00",
+                     "éé", "ééé", "\U0001F600"]),
+)
+
+rids = st.tuples(
+    st.one_of(st.integers(min_value=0, max_value=64),
+              st.sampled_from([_RID_PAGE_EXACT_MAX,
+                               _RID_PAGE_EXACT_MAX + 1])),
+    st.one_of(st.integers(min_value=0, max_value=64),
+              st.sampled_from([_RID_SLOT_EXACT_MAX,
+                               _RID_SLOT_EXACT_MAX + 1])),
+)
+
+SHAPES = {
+    "i": st.tuples(int_columns),
+    "s": st.tuples(str_columns),
+    "is": st.tuples(int_columns, str_columns),
+    "sii": st.tuples(str_columns, int_columns, int_columns),
+}
+
+
+def pairs_for(shape):
+    return st.lists(st.tuples(SHAPES[shape], rids), min_size=1, max_size=40)
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_encode_decode_round_trip(shape, data):
+    pairs = data.draw(pairs_for(shape))
+    codec = KeyCodec(shape)
+    for key, rid in pairs:
+        assert codec.decode(codec.encode(key, rid)) == (key, rid)
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_order_isomorphism_pairwise(shape, data):
+    a = data.draw(st.tuples(SHAPES[shape], rids))
+    b = data.draw(st.tuples(SHAPES[shape], rids))
+    codec = KeyCodec(shape)
+    ea = codec.encode(*a)
+    eb = codec.encode(*b)
+    assert (ea < eb) == (a < b), (a, b, ea, eb)
+    assert (eb < ea) == (b < a), (a, b, ea, eb)
+    assert (ea == eb) == (a == b) or isinstance(ea, int) != isinstance(eb, int)
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_sorted_encoded_list_decodes_to_sorted_raw(shape, data):
+    pairs = data.draw(pairs_for(shape))
+    codec = KeyCodec(shape)
+    encoded = [codec.encode(key, rid) for key, rid in pairs]
+    encoded.sort()
+    assert [codec.decode(e) for e in encoded] == sorted(pairs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_compressed_run_formation_matches_raw(data):
+    """End to end: same stream through raw and codec sorters, merged to a
+    single run each, must yield the identical key sequence."""
+    pairs = data.draw(pairs_for("is"))
+    raw_store = RunStore(prefix="raw")
+    raw = RunFormation(raw_store, 4)
+    for pair in pairs:
+        raw.push(pair)
+    raw_out = merge_to_single(raw_store, raw.finish(), 3)
+
+    codec = KeyCodec()
+    enc_store = RunStore(prefix="enc")
+    enc = CompressedRunFormation(enc_store, 4, codec)
+    for pair in pairs:
+        enc.push(pair)
+    enc_out = merge_to_single(enc_store, enc.finish(), 3)
+
+    decoded = [codec.decode(e) for e in enc_out.keys]
+    assert decoded == list(raw_out.keys) == sorted(pairs)
+
+
+# -- deterministic boundary cases -------------------------------------------
+
+
+def test_int_window_boundaries_spill_and_still_order():
+    codec = KeyCodec("i")
+    values = [INT_EXACT_MIN - 5, INT_EXACT_MIN - 1, INT_EXACT_MIN,
+              -1, 0, 1, INT_EXACT_MAX, INT_EXACT_MAX + 1, INT_EXACT_MAX + 5]
+    encoded = [codec.encode((v,), (0, 0)) for v in values]
+    assert codec.spills == 4  # the four out-of-window values
+    assert sorted(encoded) == encoded
+    assert [codec.decode(e)[0][0] for e in encoded] == values
+
+
+def test_string_prefix_boundary_and_empty_string():
+    codec = KeyCodec("s")
+    values = ["", "\x00", "a", "abcc", "abcd", "abcd\x00", "abcda", "abcdz",
+              "b"]
+    encoded = [codec.encode((v,), (0, 0)) for v in values]
+    # Only strings encoding past STR_PREFIX bytes spill.
+    assert codec.spills == sum(
+        1 for v in values if len(v.encode("utf-8")) > STR_PREFIX)
+    assert sorted(encoded) == encoded
+    assert [codec.decode(e)[0][0] for e in encoded] == values
+
+
+def test_rid_overflow_spills_but_round_trips():
+    codec = KeyCodec("i")
+    big = (5,), (_RID_PAGE_EXACT_MAX + 1, 0)
+    small = (5,), (_RID_PAGE_EXACT_MAX, 7)
+    e_small, e_big = codec.encode(*small), codec.encode(*big)
+    assert isinstance(e_small, int)
+    assert isinstance(e_big, SpilledKey)
+    assert e_small < e_big
+    assert codec.decode(e_big) == big
+
+
+def test_non_encodable_column_type_disables_codec():
+    codec = KeyCodec()
+    assert codec.bind((1.5,)) is False
+    assert codec.disabled and not codec.active
+
+
+def test_unsupported_kind_string_rejected():
+    with pytest.raises(ValueError):
+        KeyCodec("ix")
+
+
+# -- the dictionary-encoding memos ------------------------------------------
+
+
+def test_encode_cache_hits_match_fresh_codec():
+    shared = KeyCodec("is")
+    pairs = [((i % 3, "cat%d" % (i % 2)), (i, i % 5)) for i in range(50)]
+    fresh = [KeyCodec("is").encode(k, r) for k, r in pairs]
+    cached = [shared.encode(k, r) for k, r in pairs]
+    assert cached == fresh
+    assert len(shared._encode_cache) == 6  # 3 ints x 2 cats
+    for enc, (k, r) in zip(cached, pairs):
+        assert shared.decode(enc) == (k, r)
+    assert len(shared._decode_cache) == 6
+
+
+def test_cache_limit_bounds_growth(monkeypatch):
+    import repro.sort.codec as codec_mod
+    monkeypatch.setattr(codec_mod, "_CACHE_LIMIT", 4)
+    codec = KeyCodec("i")
+    pairs = [((i,), (0, i)) for i in range(10)]
+    encoded = [codec.encode(k, r) for k, r in pairs]
+    assert len(codec._encode_cache) <= 4
+    assert [codec.decode(e) for e in encoded] == pairs
+    assert len(codec._decode_cache) <= 4
+
+
+def test_rebinding_clears_caches():
+    codec = KeyCodec("i")
+    codec.encode((1,), (0, 0))
+    codec.decode(codec.encode((2,), (0, 0)))
+    assert codec._encode_cache and codec._decode_cache
+    codec._bind_kinds("i")
+    assert not codec._encode_cache and not codec._decode_cache
+
+
+def test_manifest_round_trip_preserves_layout():
+    codec = KeyCodec("is")
+    restored = KeyCodec.from_manifest(codec.to_manifest())
+    assert restored.kinds == "is" and restored.active
+    pair = ((7, "abc"), (1, 2))
+    assert restored.decode(codec.encode(*pair)) == pair
